@@ -1,0 +1,100 @@
+// Command chipsim runs a benchmark across a multi-SM chip with a shared,
+// channel-interleaved DRAM system — the full machine of the paper's
+// Figure 1a — and compares per-SM behaviour against the single-SM
+// methodology the paper uses (Section 5.1).
+//
+// Examples:
+//
+//	chipsim -kernel needle -sms 4
+//	chipsim -kernel pcr -sms 8 -l2 768        # with a 768 KB chip L2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/chip"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/isa"
+	"repro/internal/occupancy"
+	"repro/internal/report"
+	"repro/internal/sm"
+	"repro/internal/workloads"
+)
+
+// replicated deals one grid per SM.
+type replicated struct {
+	src    sm.TraceSource
+	ctas   int
+	warps  int
+	factor int
+}
+
+func (r *replicated) Grid() (int, int) { return r.ctas * r.factor, r.warps }
+func (r *replicated) WarpTrace(cta, warp int) []isa.WarpInst {
+	return r.src.WarpTrace(cta, warp)
+}
+
+func main() {
+	var (
+		kernelName = flag.String("kernel", "", "benchmark name (see smsim -list)")
+		sms        = flag.Int("sms", 4, "number of streaming multiprocessors")
+		l2KB       = flag.Int("l2", 0, "optional shared chip L2 capacity in KB (0 = none, as in the paper)")
+		stagger    = flag.Int64("stagger", 0, "per-SM launch stagger in cycles")
+	)
+	flag.Parse()
+	if *kernelName == "" {
+		fmt.Fprintln(os.Stderr, "chipsim: -kernel is required")
+		os.Exit(2)
+	}
+	k, err := workloads.ByName(*kernelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chipsim:", err)
+		os.Exit(2)
+	}
+
+	// Single-SM reference (the paper's methodology).
+	runner := core.NewRunner()
+	single, err := runner.Baseline(k)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chipsim:", err)
+		os.Exit(1)
+	}
+
+	occ := occupancy.Compute(k.Requirements(), config.Baseline(), 0)
+	src := &workloads.Source{K: k, Seed: 1}
+	_, warps := src.Grid()
+	mem := dram.DefaultSystemConfig(*sms)
+	mem.L2Bytes = *l2KB << 10
+	machine, err := chip.New(chip.Config{NumSMs: *sms, Mem: mem, LaunchStagger: *stagger},
+		config.Baseline(), runner.Params, &replicated{src, k.GridCTAs, warps, *sms}, occ.CTAs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chipsim:", err)
+		os.Exit(1)
+	}
+	res, err := machine.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chipsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s on a %d-SM chip (%d DRAM channels", k.Name, *sms, mem.Channels)
+	if *l2KB > 0 {
+		fmt.Printf(", %dKB L2", *l2KB)
+	}
+	fmt.Print(")\n\n")
+
+	t := report.NewTable("Per-SM runtimes vs the single-SM methodology",
+		"sm", "cycles", "vs single-SM")
+	t.AddRow("single-SM model", fmt.Sprint(single.Counters.Cycles), "1.00")
+	for i, c := range res.PerSM {
+		t.AddRow(fmt.Sprintf("sm%d", i), fmt.Sprint(c.Cycles),
+			report.Ratio(float64(c.Cycles)/float64(single.Counters.Cycles)))
+	}
+	fmt.Print(t)
+	fmt.Printf("\nchip runtime %d cycles; DRAM r=%dB w=%dB; out-of-order requests %d\n",
+		res.Cycles, res.DRAMReadBytes, res.DRAMWriteBytes, res.OutOfOrder)
+}

@@ -1,0 +1,56 @@
+// Command paper regenerates the tables and figures of "Unifying Primary
+// Cache, Scratch, and Register File Memories in a Throughput Processor"
+// (MICRO 2012) from the simulator, printing each as a text table.
+//
+// Examples:
+//
+//	paper                       # regenerate everything
+//	paper figure9 table6        # selected experiments
+//	paper -csv figure2          # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+)
+
+func main() {
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	chart := flag.Bool("chart", false, "render capacity sweeps as ASCII charts (figure2/3/4/11)")
+	flag.Parse()
+
+	names := flag.Args()
+	if len(names) == 0 {
+		names = harness.Experiments
+	}
+	r := core.NewRunner()
+	for _, name := range names {
+		start := time.Now()
+		if *chart {
+			out, err := harness.Chart(r, name)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "paper: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Print(out)
+			fmt.Printf("(%s charted in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+			continue
+		}
+		t, err := harness.Run(r, name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paper: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Print(t)
+			fmt.Printf("(%s regenerated in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// Command smsim runs one benchmark kernel on the SM simulator under a
+// chosen local-memory configuration and prints a full report: timing,
+// occupancy, cache and DRAM behaviour, bank conflicts, and the energy
+// breakdown.
+//
+// Examples:
+//
+//	smsim -kernel needle                         # baseline partitioned run
+//	smsim -kernel needle -design unified         # §4.5-allocated unified run
+//	smsim -kernel dgemm -rf 128 -shm 64 -cache 64 -regs 24
+//	smsim -list                                  # show all benchmarks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/sm"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// replayTrace runs a recorded trace file directly on the SM simulator.
+func replayTrace(path string, cfg config.MemConfig, residentCTAs int) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smsim:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smsim:", err)
+		os.Exit(1)
+	}
+	simulator, err := sm.New(cfg, sm.DefaultParams(), tr, residentCTAs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smsim:", err)
+		os.Exit(1)
+	}
+	c, err := simulator.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smsim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("replayed %s: %d CTAs x %d warps under %v\n", path, tr.CTAs, tr.WarpsPerCTA, cfg)
+	fmt.Printf("cycles=%d insts=%d IPC=%.3f cacheHit=%s dram=%dB\n",
+		c.Cycles, c.WarpInsts, c.IPC(), report.Percent(c.CacheHitRate()), c.DRAMBytes())
+}
+
+func main() {
+	var (
+		kernelName  = flag.String("kernel", "", "benchmark name (see -list)")
+		design      = flag.String("design", "partitioned", "partitioned | unified | fermi")
+		rfKB        = flag.Int("rf", 256, "register file capacity in KB (partitioned design)")
+		shmKB       = flag.Int("shm", 64, "shared memory capacity in KB (partitioned design)")
+		cacheKB     = flag.Int("cache", 64, "cache capacity in KB (partitioned design)")
+		totalKB     = flag.Int("total", 384, "total unified capacity in KB (unified/fermi designs)")
+		threads     = flag.Int("threads", 0, "resident thread cap (0 = architectural limit)")
+		regs        = flag.Int("regs", 0, "registers allocated per thread (0 = spill-free demand)")
+		machineFile = flag.String("machine", "", "load a JSON machine description (overrides -rf/-shm/-cache and timing)")
+		emitMachine = flag.String("emit-machine", "", "write the default machine description to a JSON file and exit")
+		traceFile   = flag.String("trace", "", "replay a recorded trace file instead of a registry kernel")
+		resident    = flag.Int("resident", 4, "resident CTAs when replaying a trace (-trace)")
+		list        = flag.Bool("list", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *emitMachine != "" {
+		if err := machine.Save(*emitMachine, machine.Default()); err != nil {
+			fmt.Fprintln(os.Stderr, "smsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote the paper's default machine to %s\n", *emitMachine)
+		return
+	}
+	if *list {
+		t := report.NewTable("Benchmarks", "name", "suite", "category", "regs", "shm B/thr", "CTA", "grid")
+		for _, k := range workloads.All() {
+			t.AddRow(k.Name, k.Suite, k.Category.String(), fmt.Sprint(k.RegsNeeded),
+				fmt.Sprintf("%.1f", k.SharedBytesPerThread()), fmt.Sprint(k.ThreadsPerCTA),
+				fmt.Sprint(k.GridCTAs))
+		}
+		fmt.Print(t)
+		return
+	}
+	if *traceFile != "" {
+		replayTrace(*traceFile, config.MemConfig{
+			Design:      config.Partitioned,
+			RFBytes:     *rfKB << 10,
+			SharedBytes: *shmKB << 10,
+			CacheBytes:  *cacheKB << 10,
+			MaxThreads:  *threads,
+		}, *resident)
+		return
+	}
+	if *kernelName == "" {
+		fmt.Fprintln(os.Stderr, "smsim: -kernel is required (try -list)")
+		os.Exit(2)
+	}
+	k, err := workloads.ByName(*kernelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smsim:", err)
+		os.Exit(2)
+	}
+
+	var cfg config.MemConfig
+	if *machineFile != "" {
+		mcfg, params, eparams, err := machine.Load(*machineFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smsim:", err)
+			os.Exit(1)
+		}
+		r := core.NewRunner()
+		r.Params = params
+		r.Energy.P = eparams
+		runAndReport(r, k, mcfg, *regs)
+		return
+	}
+	switch *design {
+	case "partitioned":
+		cfg = config.MemConfig{
+			Design:      config.Partitioned,
+			RFBytes:     *rfKB << 10,
+			SharedBytes: *shmKB << 10,
+			CacheBytes:  *cacheKB << 10,
+			MaxThreads:  *threads,
+		}
+	case "unified":
+		cfg, err = config.Allocate(k.Requirements(), *totalKB<<10, *threads)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smsim:", err)
+			os.Exit(1)
+		}
+	case "fermi":
+		cfg = config.ChooseFermi(k.Requirements(), *totalKB<<10-config.BaselineRFBytes, *threads)
+	default:
+		fmt.Fprintf(os.Stderr, "smsim: unknown design %q\n", *design)
+		os.Exit(2)
+	}
+
+	runAndReport(core.NewRunner(), k, cfg, *regs)
+}
+
+// runAndReport executes the kernel and prints the full report.
+func runAndReport(r *core.Runner, k *workloads.Kernel, cfg config.MemConfig, regs int) {
+	res, err := r.Run(core.RunSpec{Kernel: k, Config: cfg, RegsPerThread: regs})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smsim:", err)
+		os.Exit(1)
+	}
+
+	c := res.Counters
+	fmt.Printf("%s (%s, %s)\n", k.Name, k.Suite, k.Description)
+	fmt.Printf("configuration: %v  threads=%d (limited by %v, %d CTAs)\n",
+		cfg, res.Occupancy.Threads, res.Occupancy.Limiter, res.Occupancy.CTAs)
+	fmt.Println()
+
+	perf := report.NewTable("Execution",
+		"cycles", "warp insts", "IPC", "spill insts", "CTAs", "threads run")
+	perf.AddRow(fmt.Sprint(c.Cycles), fmt.Sprint(c.WarpInsts),
+		fmt.Sprintf("%.3f", c.IPC()), fmt.Sprint(c.SpillInsts),
+		fmt.Sprint(c.CTAsRetired), fmt.Sprint(c.ThreadsRun))
+	fmt.Print(perf)
+	fmt.Println()
+
+	mem := report.NewTable("Memory system",
+		"cache probes", "hit rate", "dram read", "dram write", "dram accesses")
+	mem.AddRow(fmt.Sprint(c.CacheProbes), report.Percent(c.CacheHitRate()),
+		fmt.Sprintf("%d B", c.DRAMReadBytes), fmt.Sprintf("%d B", c.DRAMWriteBytes),
+		fmt.Sprint(c.DRAMAccesses()))
+	fmt.Print(mem)
+	fmt.Println()
+
+	fr := c.ConflictFractions()
+	confl := report.NewTable("Bank conflicts (max accesses to one bank per instruction)",
+		"<=1", "2", "3", "4", ">4", "arbitration")
+	confl.AddRow(report.Percent(fr[0]), report.Percent(fr[1]), report.Percent(fr[2]),
+		report.Percent(fr[3]), report.Percent(fr[4]), fmt.Sprint(c.ArbitrationConflicts))
+	fmt.Print(confl)
+	fmt.Println()
+
+	regtab := report.NewTable("Register hierarchy accesses",
+		"MRF reads", "MRF writes", "ORF", "LRF", "MRF fraction")
+	regtab.AddRow(fmt.Sprint(c.MRFReads), fmt.Sprint(c.MRFWrites),
+		fmt.Sprint(c.ORFReads+c.ORFWrites), fmt.Sprint(c.LRFReads+c.LRFWrites),
+		report.Percent(c.MRFAccessFraction()))
+	fmt.Print(regtab)
+	fmt.Println()
+
+	e := res.Energy
+	en := report.NewTable("Energy (J)",
+		"MRF", "ORF+LRF", "shared", "cache+tags", "other dyn", "leakage", "DRAM", "total")
+	en.AddRow(fmt.Sprintf("%.2e", e.MRF), fmt.Sprintf("%.2e", e.ORF+e.LRF),
+		fmt.Sprintf("%.2e", e.Shared), fmt.Sprintf("%.2e", e.Cache+e.Tags),
+		fmt.Sprintf("%.2e", e.Other), fmt.Sprintf("%.2e", e.Leak),
+		fmt.Sprintf("%.2e", e.DRAM), fmt.Sprintf("%.2e", e.Total()))
+	fmt.Print(en)
+}

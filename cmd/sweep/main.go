@@ -1,0 +1,93 @@
+// Command sweep runs custom capacity sweeps: it varies one local-memory
+// resource for one benchmark across a range and reports performance,
+// DRAM traffic, and energy at each point — the generalization of the
+// paper's Figures 2-4 to arbitrary benchmarks and ranges.
+//
+// Examples:
+//
+//	sweep -kernel bfs -resource cache -from 32 -to 512 -step 2x
+//	sweep -kernel dgemm -resource rf -from 64 -to 256 -step 64 -threads 1024
+//	sweep -kernel needle -resource shared -from 16 -to 384 -step 2x -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/occupancy"
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		kernelName = flag.String("kernel", "", "benchmark name")
+		resource   = flag.String("resource", "cache", "rf | shared | cache")
+		fromKB     = flag.Int("from", 32, "first capacity in KB")
+		toKB       = flag.Int("to", 512, "last capacity in KB")
+		step       = flag.String("step", "2x", "additive KB step (e.g. 64) or \"2x\" for doubling")
+		threads    = flag.Int("threads", 0, "resident thread cap (0 = architectural limit)")
+		csv        = flag.Bool("csv", false, "emit CSV")
+	)
+	flag.Parse()
+	if *kernelName == "" {
+		fmt.Fprintln(os.Stderr, "sweep: -kernel is required")
+		os.Exit(2)
+	}
+	k, err := workloads.ByName(*kernelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(2)
+	}
+
+	next := func(kb int) int { return kb * 2 }
+	if *step != "2x" {
+		var add int
+		if _, err := fmt.Sscanf(*step, "%d", &add); err != nil || add <= 0 {
+			fmt.Fprintln(os.Stderr, "sweep: bad -step (want a positive KB count or 2x)")
+			os.Exit(2)
+		}
+		next = func(kb int) int { return kb + add }
+	}
+
+	r := core.NewRunner()
+	t := report.NewTable(
+		fmt.Sprintf("%s: performance vs %s capacity", k.Name, *resource),
+		"capacity", "threads", "cycles", "IPC", "dram bytes", "energy (J)")
+	for kb := *fromKB; kb <= *toKB; kb = next(kb) {
+		cfg := config.MemConfig{
+			Design:      config.Partitioned,
+			RFBytes:     occupancy.FullOccupancyRFBytes(k.RegsNeeded),
+			SharedBytes: core.UnboundedShared(k),
+			CacheBytes:  config.BaselineCacheBytes,
+			MaxThreads:  *threads,
+		}
+		switch *resource {
+		case "rf":
+			cfg.RFBytes = kb << 10
+		case "shared":
+			cfg.SharedBytes = kb << 10
+		case "cache":
+			cfg.CacheBytes = kb << 10
+		default:
+			fmt.Fprintf(os.Stderr, "sweep: unknown resource %q\n", *resource)
+			os.Exit(2)
+		}
+		res, err := r.Run(core.RunSpec{Kernel: k, Config: cfg})
+		if err != nil {
+			t.AddRow(fmt.Sprintf("%dK", kb), "-", "infeasible", "-", "-", "-")
+			continue
+		}
+		t.AddRow(fmt.Sprintf("%dK", kb), fmt.Sprint(res.Occupancy.Threads),
+			fmt.Sprint(res.Counters.Cycles), fmt.Sprintf("%.3f", res.Counters.IPC()),
+			fmt.Sprint(res.Counters.DRAMBytes()), fmt.Sprintf("%.3e", res.Energy.Total()))
+	}
+	if *csv {
+		fmt.Print(t.CSV())
+	} else {
+		fmt.Print(t)
+	}
+}

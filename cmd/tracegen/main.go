@@ -1,0 +1,65 @@
+// Command tracegen records a benchmark's warp instruction trace to a file
+// (the interchange point equivalent to the paper's Ocelot trace files).
+// Recorded traces can be profiled with tracestat or replayed on the
+// simulator with smsim -trace.
+//
+// Examples:
+//
+//	tracegen -kernel needle -o needle.trc
+//	tracegen -kernel dgemm -regs 24 -o dgemm-r24.trc   # with spill code
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		kernelName = flag.String("kernel", "", "benchmark name (see smsim -list)")
+		out        = flag.String("o", "", "output file (default <kernel>.trc)")
+		regs       = flag.Int("regs", 0, "registers allocated per thread (0 = spill-free demand)")
+		seed       = flag.Uint64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+	if *kernelName == "" {
+		fmt.Fprintln(os.Stderr, "tracegen: -kernel is required")
+		os.Exit(2)
+	}
+	k, err := workloads.ByName(*kernelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(2)
+	}
+	if *out == "" {
+		*out = k.Name + ".trc"
+	}
+	regsAvail := 0
+	if *regs > 0 && *regs < k.RegsNeeded {
+		regsAvail = *regs
+	}
+	src := &workloads.Source{K: k, RegsAvail: regsAvail, Seed: *seed}
+	t := trace.Record(src)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := trace.Write(f, t); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	info, _ := os.Stat(*out)
+	fmt.Printf("%s: %d CTAs x %d warps, %d instructions, %d bytes\n",
+		*out, t.CTAs, t.WarpsPerCTA, t.Instructions(), info.Size())
+}

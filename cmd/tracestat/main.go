@@ -1,0 +1,100 @@
+// Command tracestat profiles a warp instruction trace: instruction mix,
+// register-hierarchy operand placement, memory footprint, coalescing
+// quality, and the reuse-distance histogram that predicts cache-capacity
+// sensitivity (the static half of the paper's Section 3 characterization).
+//
+// Examples:
+//
+//	tracestat needle.trc
+//	tracestat -kernel bfs              # profile a registry benchmark directly
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func main() {
+	kernelName := flag.String("kernel", "", "profile a registry benchmark instead of a file")
+	flag.Parse()
+
+	var tr *trace.Trace
+	var name string
+	switch {
+	case *kernelName != "":
+		k, err := workloads.ByName(*kernelName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracestat:", err)
+			os.Exit(2)
+		}
+		tr = trace.Record(&workloads.Source{K: k, Seed: 1})
+		name = k.Name
+	case flag.NArg() == 1:
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracestat:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tr, err = trace.Read(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracestat:", err)
+			os.Exit(1)
+		}
+		name = flag.Arg(0)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: tracestat <file.trc> | tracestat -kernel <name>")
+		os.Exit(2)
+	}
+
+	p := trace.Analyze(tr)
+	fmt.Printf("%s: %d CTAs x %d warps\n\n", name, tr.CTAs, tr.WarpsPerCTA)
+
+	mix := report.NewTable("Instruction mix", "op", "count", "share")
+	for _, op := range p.TopOps() {
+		mix.AddRow(op.String(), fmt.Sprint(p.OpCounts[op]),
+			report.Percent(float64(p.OpCounts[op])/float64(p.Instructions)))
+	}
+	fmt.Print(mix)
+	fmt.Println()
+
+	regs := report.NewTable("Registers and operands",
+		"regs used", "spill insts", "MRF reads", "MRF writes", "ORF", "LRF", "MRF fraction")
+	regs.AddRow(fmt.Sprint(p.RegistersUsed), fmt.Sprint(p.SpillInstructions),
+		fmt.Sprint(p.MRFReads), fmt.Sprint(p.MRFWrites),
+		fmt.Sprint(p.ORFReads+p.ORFWrites), fmt.Sprint(p.LRFReads+p.LRFWrites),
+		report.Percent(p.MRFOperandFraction()))
+	fmt.Print(regs)
+	fmt.Println()
+
+	mem := report.NewTable("Memory behaviour",
+		"global footprint", "line accesses", "reuse factor", "lines/access", "shared footprint")
+	mem.AddRow(fmt.Sprintf("%d lines (%d KB)", p.GlobalFootprintLines, p.GlobalFootprintLines*128>>10),
+		fmt.Sprint(p.GlobalLineAccesses),
+		fmt.Sprintf("%.2f", p.ReuseFactor()),
+		fmt.Sprintf("%.2f", p.AvgLinesPerAccess),
+		fmt.Sprintf("%d B/CTA", p.MaxSharedAddr))
+	fmt.Print(mem)
+	fmt.Println()
+
+	reuse := report.NewTable("Reuse distances (predicts cache sensitivity)",
+		"<=512 lines (64KB)", "<=2048 (256KB)", "<=4096 (512KB)", "beyond")
+	total := int64(0)
+	for _, v := range p.ReuseHistogram {
+		total += v
+	}
+	if total == 0 {
+		total = 1
+	}
+	reuse.AddRow(
+		report.Percent(float64(p.ReuseHistogram[0])/float64(total)),
+		report.Percent(float64(p.ReuseHistogram[1])/float64(total)),
+		report.Percent(float64(p.ReuseHistogram[2])/float64(total)),
+		report.Percent(float64(p.ReuseHistogram[3])/float64(total)))
+	fmt.Print(reuse)
+}

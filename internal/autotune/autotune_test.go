@@ -1,0 +1,102 @@
+package autotune
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+func kernel(t *testing.T, name string) *workloads.Kernel {
+	t.Helper()
+	k, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestTuneFindsFeasibleBest(t *testing.T) {
+	r := core.NewRunner()
+	rep, err := Tune(r, kernel(t, "pcr"), config.BaselineTotalBytes, MinCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Best.Result == nil || len(rep.Evaluated) < 4 {
+		t.Fatalf("thin search: %d candidates", len(rep.Evaluated))
+	}
+	// The winner must be no worse than every evaluated candidate.
+	for _, c := range rep.Evaluated {
+		if c.Result.Counters.Cycles < rep.Best.Result.Counters.Cycles {
+			t.Errorf("best (%d cycles) beaten by threads=%d regs=%d (%d)",
+				rep.Best.Result.Counters.Cycles, c.Threads, c.Regs, c.Result.Counters.Cycles)
+		}
+	}
+	if imp := rep.Improvement(); imp < 1 {
+		t.Errorf("Improvement() = %.3f, cannot be below 1 (naive is in the search space)", imp)
+	}
+}
+
+func TestTuneEnergyObjective(t *testing.T) {
+	r := core.NewRunner()
+	rep, err := Tune(r, kernel(t, "sto"), config.BaselineTotalBytes, MinEnergy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range rep.Evaluated {
+		if c.Result.Energy.Total() < rep.Best.Result.Energy.Total() {
+			t.Errorf("energy best beaten by threads=%d regs=%d", c.Threads, c.Regs)
+		}
+	}
+}
+
+// TestTuneDgemmTradesRegisters checks the Figure 2 trade the tuner exists
+// for. At 384 KB dgemm fits its full registers at 1024 threads, so the
+// demand point is searched; at 256 KB it does not, so reduced-register/
+// higher-thread candidates appear.
+func TestTuneDgemmTradesRegisters(t *testing.T) {
+	r := core.NewRunner()
+	full384, err := Tune(r, kernel(t, "dgemm"), config.BaselineTotalBytes, MinCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawFull := false
+	for _, c := range full384.Evaluated {
+		if c.Regs == full384.DemandRegs && c.Threads == 1024 {
+			sawFull = true
+		}
+	}
+	if !sawFull {
+		t.Error("384KB search should include the demand-register 1024-thread point")
+	}
+	tight, err := Tune(r, kernel(t, "dgemm"), 256<<10, MinCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawReduced := false
+	for _, c := range tight.Evaluated {
+		if c.Regs < tight.DemandRegs {
+			sawReduced = true
+		}
+	}
+	if !sawReduced {
+		t.Error("256KB search should trade registers for threads")
+	}
+}
+
+func TestTuneRejectsImpossible(t *testing.T) {
+	r := core.NewRunner()
+	if _, err := Tune(r, kernel(t, "dgemm"), 16<<10, MinCycles); err == nil {
+		t.Error("16KB cannot hold any dgemm CTA; Tune should fail")
+	}
+	if _, err := Tune(r, nil, config.BaselineTotalBytes, MinCycles); err == nil {
+		t.Error("nil kernel should fail")
+	}
+}
+
+func TestObjectiveString(t *testing.T) {
+	if MinCycles.String() != "cycles" || MinEnergy.String() != "energy" {
+		t.Error("objective names wrong")
+	}
+}

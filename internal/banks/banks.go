@@ -1,0 +1,234 @@
+// Package banks models SM local-memory bank mapping and the per-warp-
+// instruction conflict model of Section 6.1 of the paper.
+//
+// For every warp instruction we count the accesses each bank receives from
+// the instruction's MRF operand reads and its shared-memory or cache data
+// accesses, then charge one extra issue cycle for each access beyond the
+// first to the most-contended bank. In the partitioned design, register
+// banks and shared/cache banks live in disjoint structures, so the two
+// kinds of access can never collide; in the unified design they share the
+// same 32 banks and additionally compete for the single 16-byte port each
+// cluster drives onto the crossbar (arbitration conflicts).
+package banks
+
+import (
+	"repro/internal/config"
+	"repro/internal/isa"
+)
+
+// Outcome summarizes the bank behaviour of one warp instruction.
+type Outcome struct {
+	// MaxPerBank is the maximum number of accesses any single bank (or,
+	// in the unified design, any single cluster port) received. Table 5
+	// buckets this value.
+	MaxPerBank int
+	// ExtraCycles is the issue serialization penalty: MaxPerBank - 1
+	// (zero for conflict-free instructions).
+	ExtraCycles int
+	// Arbitration reports that, in the unified design, a register operand
+	// read and a shared/cache data access contended for the same bank.
+	Arbitration bool
+	// MemAccesses is the number of distinct memory bank granules touched
+	// (shared-memory words/granules or cache lines); used for access-energy
+	// and throughput accounting.
+	MemAccesses int
+}
+
+// Model evaluates bank conflicts for one design. A Model holds scratch
+// buffers and is not safe for concurrent use; each simulated SM owns one.
+type Model struct {
+	design     config.Design
+	aggressive bool
+
+	bankReg [config.NumBanks]uint8 // register read accesses per bank
+	bankMem [config.NumBanks]uint8 // memory data accesses per bank
+	port    [config.NumClusters]uint8
+	granule [isa.WarpSize]uint32 // dedupe scratch
+}
+
+// New returns a conflict model for the given design. The FermiLike design
+// uses partitioned banking (its flexibility is capacity-only).
+func New(d config.Design) *Model {
+	return &Model{design: d}
+}
+
+// NewAggressive returns the unified-design variant of Section 4.2 that
+// allows multiple banks within a cluster to be accessed per cycle for
+// scatter/gather (still limited to 16 bytes per cluster onto the
+// crossbar). The paper measured a 0.5% average improvement over the
+// simple single-bank-per-cluster design and used the simple one for its
+// results; this variant exists for the ablation benchmark.
+func NewAggressive(d config.Design) *Model {
+	return &Model{design: d, aggressive: true}
+}
+
+// Design returns the design the model evaluates.
+func (m *Model) Design() config.Design { return m.design }
+
+// unified reports whether register and memory accesses share banks.
+func (m *Model) unified() bool { return m.design == config.Unified }
+
+// Evaluate computes the bank outcome of one warp instruction.
+func (m *Model) Evaluate(wi *isa.WarpInst) Outcome {
+	for i := range m.bankReg {
+		m.bankReg[i] = 0
+		m.bankMem[i] = 0
+	}
+	for i := range m.port {
+		m.port[i] = 0
+	}
+
+	// MRF operand reads. Register r maps to bank r mod 4 within each
+	// cluster; every cluster reads its own copy for its 4 lanes, so one
+	// MRF source adds one access to the same bank slot of all clusters.
+	for _, src := range wi.Srcs {
+		if src.Valid() && src.Space == isa.SpaceMRF {
+			slot := int(src.Reg) % config.BanksPerCluster
+			for c := 0; c < config.NumClusters; c++ {
+				m.bankReg[c*config.BanksPerCluster+slot]++
+			}
+		}
+	}
+
+	memAccesses := 0
+	if wi.Op.IsMemory() && wi.Addrs != nil {
+		if wi.Op.IsShared() {
+			memAccesses = m.addShared(wi)
+		} else {
+			memAccesses = m.addGlobal(wi)
+		}
+	}
+
+	out := Outcome{MemAccesses: memAccesses}
+	if m.unified() {
+		// Shared banks: register and memory accesses sum per bank, and
+		// shared/cache traffic also contends for the per-cluster port.
+		for b := 0; b < config.NumBanks; b++ {
+			total := int(m.bankReg[b]) + int(m.bankMem[b])
+			if total > out.MaxPerBank {
+				out.MaxPerBank = total
+			}
+			if m.bankReg[b] > 0 && m.bankMem[b] > 0 {
+				out.Arbitration = true
+			}
+		}
+		if !m.aggressive {
+			// Simple design: one bank per cluster reaches the crossbar
+			// per cycle, so distinct granules in one cluster serialize
+			// even across different banks. The aggressive design muxes
+			// any bank onto the port, leaving only true per-bank
+			// conflicts (counted above).
+			for c := 0; c < config.NumClusters; c++ {
+				if int(m.port[c]) > out.MaxPerBank {
+					out.MaxPerBank = int(m.port[c])
+				}
+			}
+		}
+	} else {
+		// Disjoint structures: the worst bank of either space decides.
+		for b := 0; b < config.NumBanks; b++ {
+			if int(m.bankReg[b]) > out.MaxPerBank {
+				out.MaxPerBank = int(m.bankReg[b])
+			}
+			if int(m.bankMem[b]) > out.MaxPerBank {
+				out.MaxPerBank = int(m.bankMem[b])
+			}
+		}
+	}
+	if out.MaxPerBank < 1 {
+		out.MaxPerBank = 1
+	}
+	out.ExtraCycles = out.MaxPerBank - 1
+	return out
+}
+
+// addShared files the shared-memory accesses of the instruction and
+// returns the number of distinct bank granules touched.
+//
+// Partitioned: banks are 4 bytes wide, bank = (addr/4) mod 32; accesses to
+// the same word broadcast and count once.
+//
+// Unified: banks are 16 bytes wide and the shared address space stripes
+// 16-byte granules across the 8 clusters (cluster = (addr/16) mod 8,
+// bank-in-cluster = (addr/128) mod 4). One 16-byte granule is served by a
+// single bank access, but each cluster can route only one bank onto the
+// crossbar per cycle, so distinct granules in the same cluster serialize
+// even when they live in different banks.
+func (m *Model) addShared(wi *isa.WarpInst) int {
+	n := 0
+	for t := 0; t < isa.WarpSize; t++ {
+		if wi.Mask&(1<<uint(t)) == 0 {
+			continue
+		}
+		addr := wi.Addrs[t]
+		var g uint32
+		if m.unified() {
+			g = addr / config.UnifiedBankWidth
+		} else {
+			g = addr / config.PartitionedShmemBankWidth
+		}
+		if m.seen(g, n) {
+			continue
+		}
+		m.granule[n] = g
+		n++
+		if m.unified() {
+			cluster := int(g) % config.NumClusters
+			slot := int(addr/config.CacheLineBytes) % config.BanksPerCluster
+			m.bankMem[cluster*config.BanksPerCluster+slot]++
+			m.port[cluster]++
+		} else {
+			m.bankMem[g%config.NumBanks]++
+		}
+	}
+	return n
+}
+
+// addGlobal files the cache-line accesses of a global memory instruction
+// and returns the number of distinct lines touched.
+//
+// A 128-byte line spans banks in both designs: all 32 4-byte banks in the
+// partitioned design, or 8 16-byte unified banks, one per cluster, with
+// bank-in-cluster = (line) mod 4. Distinct lines are already serialized by
+// the single-ported tag array (one lookup per cycle, modeled by the SM),
+// so lines never collide with each other within an instruction; the only
+// unified-specific hazard is a line's data access landing in the same bank
+// an MRF operand of the same instruction reads (an arbitration conflict,
+// at most one extra cycle). Each line access is therefore filed as one
+// access to its bank slot, capped at one per slot.
+func (m *Model) addGlobal(wi *isa.WarpInst) int {
+	n := 0
+	var slotUsed [config.BanksPerCluster]bool
+	for t := 0; t < isa.WarpSize; t++ {
+		if wi.Mask&(1<<uint(t)) == 0 {
+			continue
+		}
+		line := wi.Addrs[t] / config.CacheLineBytes
+		if m.seen(line, n) {
+			continue
+		}
+		m.granule[n] = line
+		n++
+		if m.unified() {
+			slot := int(line) % config.BanksPerCluster
+			if !slotUsed[slot] {
+				slotUsed[slot] = true
+				for c := 0; c < config.NumClusters; c++ {
+					m.bankMem[c*config.BanksPerCluster+slot]++
+				}
+			}
+		}
+		// Partitioned cache lines use dedicated banks; nothing to file.
+	}
+	return n
+}
+
+// seen reports whether g is among the first n recorded granules.
+func (m *Model) seen(g uint32, n int) bool {
+	for i := 0; i < n; i++ {
+		if m.granule[i] == g {
+			return true
+		}
+	}
+	return false
+}

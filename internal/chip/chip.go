@@ -1,0 +1,160 @@
+// Package chip simulates the full GPU of the paper's Figure 1a: many
+// streaming multiprocessors sharing a channel-interleaved DRAM system.
+//
+// The paper's methodology (Section 5.1) simulates a single SM with a 1/32
+// share of chip DRAM bandwidth, arguing that because applications run many
+// CTAs the full chip behaves like 32 copies of one SM. This package exists
+// to test that claim: it runs the same kernel across N SMs against a
+// shared memory system and reports per-SM results that can be compared
+// with the single-SM simulation (see the chip validation test and
+// BenchmarkChipValidation).
+//
+// SMs advance in conservative global-time order: the simulator always
+// steps the SM with the smallest local clock, so requests reach the shared
+// DRAM system in (nearly) nondecreasing timestamp order.
+package chip
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/dram"
+	"repro/internal/isa"
+	"repro/internal/sm"
+	"repro/internal/stats"
+)
+
+// Config parameterizes the chip.
+type Config struct {
+	// NumSMs is the streaming-multiprocessor count (32 in the paper).
+	NumSMs int
+	// Mem configures the shared DRAM system; the zero value uses
+	// dram.DefaultSystemConfig(NumSMs).
+	Mem dram.SystemConfig
+	// LaunchStagger delays SM i's first CTA launch by i*LaunchStagger
+	// cycles, modeling the work distributor's sequential launch; it
+	// desynchronizes identical kernels that would otherwise convoy on
+	// the shared channels.
+	LaunchStagger int64
+}
+
+// DefaultConfig returns the paper's 32-SM chip. Most callers scale NumSMs
+// down: simulation cost grows linearly with it.
+func DefaultConfig() Config {
+	return Config{NumSMs: 32}
+}
+
+// Result is the outcome of a chip run.
+type Result struct {
+	// PerSM holds each SM's counters.
+	PerSM []*stats.Counters
+	// Total aggregates all SMs.
+	Total stats.Counters
+	// Cycles is the chip runtime: the slowest SM's cycle count.
+	Cycles int64
+	// DRAMReadBytes/DRAMWriteBytes are the shared system's totals.
+	DRAMReadBytes, DRAMWriteBytes int64
+	// OutOfOrder is the shared system's timestamp-ordering diagnostic.
+	OutOfOrder int64
+}
+
+// TraceSource mirrors sm.TraceSource.
+type TraceSource = sm.TraceSource
+
+// shardSource deals a grid's CTAs round-robin across SMs, the way the
+// hardware work distributor does.
+type shardSource struct {
+	src          TraceSource
+	smIndex, nSM int
+	ctas         int
+	warps        int
+}
+
+func (s *shardSource) Grid() (int, int) { return s.ctas, s.warps }
+
+func (s *shardSource) WarpTrace(cta, warp int) []isa.WarpInst {
+	return s.src.WarpTrace(cta*s.nSM+s.smIndex, warp)
+}
+
+// Chip is a configured multi-SM machine.
+type Chip struct {
+	cfg Config
+	sms []*sm.SM
+	mem *dram.System
+}
+
+// New builds a chip running the grid of src under memCfg on every SM.
+// The grid is dealt round-robin: SM i executes CTAs i, i+N, i+2N, ...
+// residentCTAs is the per-SM CTA residency (from internal/occupancy).
+func New(cfg Config, memCfg config.MemConfig, params sm.Params, src TraceSource, residentCTAs int) (*Chip, error) {
+	if cfg.NumSMs < 1 {
+		return nil, fmt.Errorf("chip: need at least one SM")
+	}
+	if cfg.Mem.Channels == 0 {
+		cfg.Mem = dram.DefaultSystemConfig(cfg.NumSMs)
+	}
+	totalCTAs, warps := src.Grid()
+	if totalCTAs < cfg.NumSMs {
+		return nil, fmt.Errorf("chip: grid of %d CTAs cannot feed %d SMs", totalCTAs, cfg.NumSMs)
+	}
+	c := &Chip{cfg: cfg, mem: dram.NewSystem(cfg.Mem)}
+	for i := 0; i < cfg.NumSMs; i++ {
+		share := totalCTAs / cfg.NumSMs
+		if i < totalCTAs%cfg.NumSMs {
+			share++
+		}
+		shard := &shardSource{src: src, smIndex: i, nSM: cfg.NumSMs, ctas: share, warps: warps}
+		m, err := sm.NewWithMemory(memCfg, params, shard, residentCTAs, c.mem)
+		if err != nil {
+			return nil, fmt.Errorf("chip: SM %d: %w", i, err)
+		}
+		c.sms = append(c.sms, m)
+	}
+	return c, nil
+}
+
+// Run executes all SMs to completion in conservative global-time order.
+func (c *Chip) Run() (*Result, error) {
+	for i, m := range c.sms {
+		m.StartAt(int64(i) * c.cfg.LaunchStagger)
+	}
+	live := len(c.sms)
+	for live > 0 {
+		// Step the SM with the smallest local clock.
+		var next *sm.SM
+		for _, m := range c.sms {
+			if m.Done() {
+				continue
+			}
+			if next == nil || m.Cycle() < next.Cycle() {
+				next = m
+			}
+		}
+		if next == nil {
+			break
+		}
+		if err := next.Step(); err != nil {
+			return nil, err
+		}
+		if next.Done() {
+			live--
+		}
+	}
+	res := &Result{
+		DRAMReadBytes:  c.mem.ReadBytes(),
+		DRAMWriteBytes: c.mem.WriteBytes(),
+		OutOfOrder:     c.mem.OutOfOrder(),
+	}
+	for _, m := range c.sms {
+		counters := m.Finish()
+		res.PerSM = append(res.PerSM, counters)
+		res.Total.Add(counters)
+		if counters.Cycles > res.Cycles {
+			res.Cycles = counters.Cycles
+		}
+	}
+	return res, nil
+}
+
+// NumSMs returns the SM count.
+func (c *Chip) NumSMs() int { return c.cfg.NumSMs }

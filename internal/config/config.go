@@ -1,0 +1,274 @@
+// Package config describes the SM local-memory organizations evaluated in
+// the paper and implements the Section 4.5 allocation algorithm that
+// partitions a unified memory among register file, shared memory, and cache
+// on a per-kernel basis.
+package config
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Machine constants shared by all designs (Table 2 of the paper).
+const (
+	// NumBanks is the number of local-memory banks per SM. Both the
+	// partitioned and the unified design expose 32 banks to keep
+	// bandwidth constant.
+	NumBanks = 32
+	// NumClusters is the number of 4-wide SIMT lane clusters per SM.
+	NumClusters = 8
+	// BanksPerCluster is the number of MRF (or unified) banks per cluster.
+	BanksPerCluster = NumBanks / NumClusters
+	// MaxThreadsPerSM is the architectural thread residency limit.
+	MaxThreadsPerSM = 1024
+	// MaxWarpsPerSM is the warp residency limit.
+	MaxWarpsPerSM = MaxThreadsPerSM / 32
+	// ActiveWarps is the active-set size of the two-level warp scheduler.
+	ActiveWarps = 8
+	// CacheLineBytes is the primary data cache line size.
+	CacheLineBytes = 128
+	// CacheWays is the cache associativity.
+	CacheWays = 4
+	// UnifiedBankWidth is the width of one unified bank in bytes.
+	UnifiedBankWidth = 16
+	// PartitionedShmemBankWidth is the width of one baseline shared
+	// memory or cache bank in bytes.
+	PartitionedShmemBankWidth = 4
+
+	// BaselineRFBytes is the baseline partitioned register file capacity.
+	BaselineRFBytes = 256 << 10
+	// BaselineSharedBytes is the baseline shared memory capacity.
+	BaselineSharedBytes = 64 << 10
+	// BaselineCacheBytes is the baseline cache capacity.
+	BaselineCacheBytes = 64 << 10
+	// BaselineTotalBytes is the total baseline local storage (384 KB).
+	BaselineTotalBytes = BaselineRFBytes + BaselineSharedBytes + BaselineCacheBytes
+)
+
+// Design enumerates the three local-memory organizations compared in the
+// paper.
+type Design uint8
+
+const (
+	// Partitioned is the baseline: dedicated 16-byte MRF banks plus
+	// dedicated 4-byte shared-memory and cache banks with fixed capacity.
+	Partitioned Design = iota
+	// Unified merges register file, shared memory, and cache into 32
+	// uniform 16-byte banks whose capacity split is set per kernel.
+	Unified
+	// FermiLike keeps a fixed register file but allows the remaining
+	// storage to be split between shared memory and cache in two preset
+	// ratios (the Fermi 16/48 and 48/16 choice, scaled to capacity).
+	FermiLike
+)
+
+// String names the design.
+func (d Design) String() string {
+	switch d {
+	case Partitioned:
+		return "partitioned"
+	case Unified:
+		return "unified"
+	case FermiLike:
+		return "fermi-like"
+	}
+	return fmt.Sprintf("Design(%d)", uint8(d))
+}
+
+// MemConfig is a fully resolved SM local-memory configuration: the design
+// style plus the concrete capacity assigned to each function for the kernel
+// about to run.
+type MemConfig struct {
+	// Design selects the bank organization and conflict model.
+	Design Design
+	// RFBytes is the register file capacity in bytes.
+	RFBytes int
+	// SharedBytes is the shared-memory capacity in bytes.
+	SharedBytes int
+	// CacheBytes is the primary data cache capacity in bytes.
+	CacheBytes int
+	// MaxThreads caps resident threads (used by the thread-count sweeps
+	// in Figures 2-4; 0 means the architectural limit).
+	MaxThreads int
+}
+
+// TotalBytes returns the aggregate local storage of the configuration.
+func (m MemConfig) TotalBytes() int { return m.RFBytes + m.SharedBytes + m.CacheBytes }
+
+// ThreadLimit returns the effective resident-thread cap.
+func (m MemConfig) ThreadLimit() int {
+	if m.MaxThreads <= 0 || m.MaxThreads > MaxThreadsPerSM {
+		return MaxThreadsPerSM
+	}
+	return m.MaxThreads
+}
+
+// BankBytes returns the capacity of one bank for the structure sizes of
+// this configuration: (rf, shared, cache) bank sizes for the partitioned
+// design, or the single unified bank size repeated for the unified design.
+func (m MemConfig) BankBytes() (rf, shared, cache int) {
+	switch m.Design {
+	case Unified:
+		u := m.TotalBytes() / NumBanks
+		return u, u, u
+	default:
+		return m.RFBytes / NumBanks, m.SharedBytes / NumBanks, m.CacheBytes / NumBanks
+	}
+}
+
+// String renders the configuration compactly, e.g. "unified rf=228K shm=67K $=89K".
+func (m MemConfig) String() string {
+	return fmt.Sprintf("%s rf=%dK shm=%dK $=%dK", m.Design,
+		m.RFBytes>>10, m.SharedBytes>>10, m.CacheBytes>>10)
+}
+
+// Validate checks structural invariants of the configuration.
+func (m MemConfig) Validate() error {
+	if m.RFBytes < 0 || m.SharedBytes < 0 || m.CacheBytes < 0 {
+		return errors.New("config: negative capacity")
+	}
+	if m.TotalBytes() == 0 {
+		return errors.New("config: zero total capacity")
+	}
+	if m.Design == Unified && m.TotalBytes()%NumBanks != 0 {
+		return fmt.Errorf("config: unified capacity %d not divisible by %d banks",
+			m.TotalBytes(), NumBanks)
+	}
+	if m.CacheBytes > 0 && m.CacheBytes%(CacheLineBytes*CacheWays) != 0 {
+		return fmt.Errorf("config: cache capacity %d not divisible by way*line", m.CacheBytes)
+	}
+	return nil
+}
+
+// Baseline returns the baseline partitioned 256/64/64 KB configuration.
+func Baseline() MemConfig {
+	return MemConfig{
+		Design:      Partitioned,
+		RFBytes:     BaselineRFBytes,
+		SharedBytes: BaselineSharedBytes,
+		CacheBytes:  BaselineCacheBytes,
+	}
+}
+
+// KernelRequirements captures what the programming system knows about a
+// kernel when the Section 4.5 allocation runs.
+type KernelRequirements struct {
+	// RegsPerThread is the compiler-computed register count that avoids
+	// spills (Table 1, column 2).
+	RegsPerThread int
+	// SharedBytesPerCTA is the programmer-declared shared memory per CTA.
+	SharedBytesPerCTA int
+	// ThreadsPerCTA is the CTA size.
+	ThreadsPerCTA int
+}
+
+// BytesPerThread returns the per-thread register file footprint (4-byte
+// registers).
+func (k KernelRequirements) BytesPerThread() int { return k.RegsPerThread * 4 }
+
+// SharedBytesPerThread returns the per-thread shared-memory footprint.
+func (k KernelRequirements) SharedBytesPerThread() float64 {
+	if k.ThreadsPerCTA == 0 {
+		return 0
+	}
+	return float64(k.SharedBytesPerCTA) / float64(k.ThreadsPerCTA)
+}
+
+// Allocate implements the Section 4.5 automatic partitioning for a unified
+// memory of totalBytes:
+//
+//  1. the compiler supplies registers per thread to avoid spills,
+//  2. the programmer supplies shared memory per CTA,
+//  3. the scheduler maximizes resident threads (CTA granular) under the
+//     capacity, and
+//  4. all remaining storage becomes primary data cache.
+//
+// threadCap, if non-zero, limits resident threads below the architectural
+// maximum (used for autotuned thread counts).
+func Allocate(req KernelRequirements, totalBytes, threadCap int) (MemConfig, error) {
+	if req.ThreadsPerCTA <= 0 {
+		return MemConfig{}, errors.New("config: ThreadsPerCTA must be positive")
+	}
+	if req.ThreadsPerCTA%32 != 0 {
+		return MemConfig{}, fmt.Errorf("config: ThreadsPerCTA %d not a multiple of the warp size", req.ThreadsPerCTA)
+	}
+	limit := MaxThreadsPerSM
+	if threadCap > 0 && threadCap < limit {
+		limit = threadCap
+	}
+	perCTABytes := req.BytesPerThread()*req.ThreadsPerCTA + req.SharedBytesPerCTA
+	if perCTABytes > totalBytes {
+		return MemConfig{}, fmt.Errorf("config: one CTA needs %d bytes, unified memory has %d",
+			perCTABytes, totalBytes)
+	}
+	maxCTAs := limit / req.ThreadsPerCTA
+	if maxCTAs < 1 {
+		return MemConfig{}, fmt.Errorf("config: CTA size %d exceeds thread limit %d", req.ThreadsPerCTA, limit)
+	}
+	if byCapacity := totalBytes / perCTABytes; byCapacity < maxCTAs {
+		maxCTAs = byCapacity
+	}
+	cfg := MemConfig{
+		Design:      Unified,
+		RFBytes:     maxCTAs * req.ThreadsPerCTA * req.BytesPerThread(),
+		SharedBytes: maxCTAs * req.SharedBytesPerCTA,
+		MaxThreads:  maxCTAs * req.ThreadsPerCTA,
+	}
+	cfg.CacheBytes = totalBytes - cfg.RFBytes - cfg.SharedBytes
+	// Round the cache down to a whole number of sets so the tag array is
+	// well formed; the remainder is left unused (sub-set slack is below
+	// one bank's granularity and does not affect the model).
+	cfg.CacheBytes -= cfg.CacheBytes % (CacheLineBytes * CacheWays)
+	return cfg, nil
+}
+
+// FermiSplits returns the two shared/cache splits offered by the Fermi-like
+// limited design for a given non-register capacity: (3/4, 1/4) and
+// (1/4, 3/4), mirroring Fermi's 48/16 KB choice scaled to capacity.
+func FermiSplits(nonRFBytes int) [2]MemConfig {
+	large := nonRFBytes * 3 / 4
+	small := nonRFBytes - large
+	return [2]MemConfig{
+		{Design: FermiLike, RFBytes: BaselineRFBytes, SharedBytes: large, CacheBytes: small},
+		{Design: FermiLike, RFBytes: BaselineRFBytes, SharedBytes: small, CacheBytes: large},
+	}
+}
+
+// ChooseFermi picks the better of the two Fermi-like splits for a kernel:
+// the split whose shared memory fits the kernel's footprint at the highest
+// thread count, breaking ties toward the larger cache.
+func ChooseFermi(req KernelRequirements, nonRFBytes, threadCap int) MemConfig {
+	splits := FermiSplits(nonRFBytes)
+	best := splits[1] // prefer large cache when shared memory is no constraint
+	if req.SharedBytesPerCTA > 0 {
+		t0 := residentThreads(req, splits[0], threadCap)
+		t1 := residentThreads(req, splits[1], threadCap)
+		if t0 > t1 {
+			best = splits[0]
+		}
+	}
+	best.MaxThreads = threadCap
+	return best
+}
+
+// residentThreads computes CTA-granular thread residency for a kernel under
+// a configuration (shared by ChooseFermi and internal/occupancy; the full
+// treatment with diagnostics lives in internal/occupancy).
+func residentThreads(req KernelRequirements, cfg MemConfig, threadCap int) int {
+	limit := cfg.ThreadLimit()
+	if threadCap > 0 && threadCap < limit {
+		limit = threadCap
+	}
+	ctas := limit / req.ThreadsPerCTA
+	if req.SharedBytesPerCTA > 0 {
+		if byShmem := cfg.SharedBytes / req.SharedBytesPerCTA; byShmem < ctas {
+			ctas = byShmem
+		}
+	}
+	if rfPerCTA := req.BytesPerThread() * req.ThreadsPerCTA; rfPerCTA > 0 {
+		if byRF := cfg.RFBytes / rfPerCTA; byRF < ctas {
+			ctas = byRF
+		}
+	}
+	return ctas * req.ThreadsPerCTA
+}

@@ -1,0 +1,172 @@
+// Package core ties the substrates together: it runs a workload kernel
+// under a local-memory configuration on the SM timing simulator, attaches
+// occupancy and energy analyses, and hosts the experiment drivers that
+// regenerate every table and figure of the paper (experiments.go).
+//
+// This is the library's primary entry point:
+//
+//	r := core.NewRunner()
+//	res, err := r.Run(core.RunSpec{Kernel: k, Config: config.Baseline()})
+//	fmt.Println(res.Counters.Cycles, res.Energy.Total())
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/energy"
+	"repro/internal/occupancy"
+	"repro/internal/sm"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// RunSpec describes one simulation run.
+type RunSpec struct {
+	// Kernel is the workload to execute.
+	Kernel *workloads.Kernel
+	// Config is the local-memory configuration.
+	Config config.MemConfig
+	// RegsPerThread overrides the per-thread register allocation; 0 uses
+	// the kernel's spill-free demand. Smaller values trade spill code for
+	// occupancy, as the Figure 2 sweeps do.
+	RegsPerThread int
+	// Seed perturbs per-warp random streams (divergent gathers).
+	Seed uint64
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	// Spec echoes the run parameters.
+	Spec RunSpec
+	// Occupancy is the CTA residency the configuration admitted.
+	Occupancy occupancy.Result
+	// Counters are the raw simulation event counts.
+	Counters *stats.Counters
+	// Energy is the Section 5.2 energy breakdown.
+	Energy energy.Breakdown
+}
+
+// Performance returns the run's performance metric (reciprocal runtime;
+// only ratios of this value are meaningful).
+func (r *Result) Performance() float64 {
+	if r.Counters.Cycles == 0 {
+		return 0
+	}
+	return 1 / float64(r.Counters.Cycles)
+}
+
+// Runner executes runs and caches the per-benchmark baseline needed for
+// energy calibration and for normalizing results the way the paper does.
+type Runner struct {
+	// Params are the SM timing parameters (Table 2).
+	Params sm.Params
+	// Energy is the energy model (Tables 3 and 4).
+	Energy energy.Model
+	// Seed is the default workload seed.
+	Seed uint64
+
+	baselines map[string]*Result
+}
+
+// NewRunner returns a Runner with the paper's default parameters.
+func NewRunner() *Runner {
+	return &Runner{
+		Params:    sm.DefaultParams(),
+		Energy:    energy.NewModel(),
+		Seed:      1,
+		baselines: make(map[string]*Result),
+	}
+}
+
+// Run simulates one spec to completion.
+func (r *Runner) Run(spec RunSpec) (*Result, error) {
+	if spec.Kernel == nil {
+		return nil, fmt.Errorf("core: RunSpec.Kernel is nil")
+	}
+	if spec.Seed == 0 {
+		spec.Seed = r.Seed
+	}
+	regs := spec.RegsPerThread
+	if regs <= 0 || regs > spec.Kernel.RegsNeeded {
+		regs = spec.Kernel.RegsNeeded
+	}
+	occ := occupancy.Compute(spec.Kernel.Requirements(), spec.Config, regs)
+	if occ.CTAs < 1 {
+		return nil, fmt.Errorf("core: %s does not fit %v (limiter %v)",
+			spec.Kernel.Name, spec.Config, occ.Limiter)
+	}
+	regsAvail := 0
+	if regs < spec.Kernel.RegsNeeded {
+		regsAvail = regs
+	}
+	src := &workloads.Source{K: spec.Kernel, RegsAvail: regsAvail, Seed: spec.Seed}
+	machine, err := sm.New(spec.Config, r.Params, src, occ.CTAs)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s under %v: %w", spec.Kernel.Name, spec.Config, err)
+	}
+	counters, err := machine.Run()
+	if err != nil {
+		return nil, fmt.Errorf("core: %s under %v: %w", spec.Kernel.Name, spec.Config, err)
+	}
+	res := &Result{Spec: spec, Occupancy: occ, Counters: counters}
+	other, err := r.calibratedOther(spec.Kernel, spec.Config, counters)
+	if err != nil {
+		return nil, err
+	}
+	res.Energy = r.Energy.Evaluate(spec.Config, counters, other)
+	return res, nil
+}
+
+// Baseline returns (and caches) the kernel's run under the baseline
+// partitioned 256/64/64 configuration — the normalization point for every
+// comparative result in the paper.
+func (r *Runner) Baseline(k *workloads.Kernel) (*Result, error) {
+	if res, ok := r.baselines[k.Name]; ok {
+		return res, nil
+	}
+	res, err := r.Run(RunSpec{Kernel: k, Config: config.Baseline()})
+	if err != nil {
+		return nil, fmt.Errorf("core: baseline for %s: %w", k.Name, err)
+	}
+	r.baselines[k.Name] = res
+	return res, nil
+}
+
+// calibratedOther returns the benchmark's constant non-bank SM dynamic
+// power (watts), calibrated on the baseline run (Section 5.2). When the
+// run at hand *is* the baseline run, it self-calibrates to avoid
+// recursion.
+func (r *Runner) calibratedOther(k *workloads.Kernel, cfg config.MemConfig, c *stats.Counters) (float64, error) {
+	if cfg == config.Baseline() {
+		if _, cached := r.baselines[k.Name]; !cached {
+			return r.Energy.CalibrateOther(cfg, c), nil
+		}
+	}
+	base, err := r.Baseline(k)
+	if err != nil {
+		return 0, err
+	}
+	return r.Energy.CalibrateOther(base.Spec.Config, base.Counters), nil
+}
+
+// UnboundedShared returns a shared-memory capacity large enough that the
+// kernel's residency is never shared-memory limited, used by the Figure 2
+// and Figure 4 isolation studies ("unbounded shared memory").
+func UnboundedShared(k *workloads.Kernel) int {
+	ctas := config.MaxThreadsPerSM / k.ThreadsPerCTA
+	return ctas * k.SharedBytesPerCTA
+}
+
+// IsolationConfig builds the partitioned configuration the paper's
+// Section 3.3 limit studies use: explicit RF and cache capacities, shared
+// memory unbounded, and a resident-thread cap.
+func IsolationConfig(k *workloads.Kernel, rfBytes, cacheBytes, threads int) config.MemConfig {
+	return config.MemConfig{
+		Design:      config.Partitioned,
+		RFBytes:     rfBytes,
+		SharedBytes: UnboundedShared(k),
+		CacheBytes:  cacheBytes,
+		MaxThreads:  threads,
+	}
+}

@@ -1,0 +1,573 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/config"
+	"repro/internal/energy"
+	"repro/internal/occupancy"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// SpillBudgets are the register allocations of Table 1 columns 3-7.
+var SpillBudgets = []int{18, 24, 32, 40, 64}
+
+// Table1CacheSizes are the cache capacities of Table 1 columns 10-12.
+var Table1CacheSizes = []int{0, 64 << 10, 256 << 10}
+
+// Table1Row is one benchmark's characterization (Table 1).
+type Table1Row struct {
+	Name     string
+	Category workloads.Category
+	// RegsPerThread is the spill-free register demand (column 2).
+	RegsPerThread int
+	// DynInstRatio[i] is dynamic instructions with SpillBudgets[i]
+	// registers, normalized to the spill-free count (columns 3-7).
+	DynInstRatio [5]float64
+	// RFFullOccupancyKB is column 8.
+	RFFullOccupancyKB int
+	// SharedBytesPerThread is column 9.
+	SharedBytesPerThread float64
+	// DRAMNorm[i] is DRAM traffic with Table1CacheSizes[i] of cache,
+	// normalized to the 256 KB point (columns 10-12).
+	DRAMNorm [3]float64
+}
+
+// Table1 regenerates the workload characterization for the given kernels.
+func (r *Runner) Table1(kernels []*workloads.Kernel) ([]Table1Row, error) {
+	rows := make([]Table1Row, 0, len(kernels))
+	for _, k := range kernels {
+		row := Table1Row{
+			Name:                 k.Name,
+			Category:             k.Category,
+			RegsPerThread:        k.RegsNeeded,
+			RFFullOccupancyKB:    occupancy.FullOccupancyRFBytes(k.RegsNeeded) >> 10,
+			SharedBytesPerThread: k.SharedBytesPerThread(),
+		}
+		// Dynamic-instruction ratios come from trace generation alone:
+		// spills are inserted by the register allocator, not the timing
+		// model. Sample a few CTAs; the ratio is CTA-invariant.
+		base := r.dynInsts(k, 0)
+		for i, budget := range SpillBudgets {
+			row.DynInstRatio[i] = float64(r.dynInsts(k, budget)) / float64(base)
+		}
+		// DRAM traffic under the Section 3.3 isolation config (spill-free
+		// registers, unbounded shared memory) at each cache size.
+		var dram [3]int64
+		for i, cb := range Table1CacheSizes {
+			cfg := IsolationConfig(k, occupancy.FullOccupancyRFBytes(k.RegsNeeded), cb, 0)
+			res, err := r.Run(RunSpec{Kernel: k, Config: cfg})
+			if err != nil {
+				return nil, fmt.Errorf("table1 %s cache=%d: %w", k.Name, cb, err)
+			}
+			dram[i] = res.Counters.DRAMBytes()
+		}
+		for i := range dram {
+			row.DRAMNorm[i] = float64(dram[i]) / float64(dram[2])
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// dynInsts counts warp instructions in a sample of the kernel's trace
+// under a register budget (0 = spill free).
+func (r *Runner) dynInsts(k *workloads.Kernel, budget int) int64 {
+	if budget >= k.RegsNeeded {
+		budget = 0
+	}
+	src := &workloads.Source{K: k, RegsAvail: budget, Seed: r.Seed}
+	ctas := k.GridCTAs
+	if ctas > 4 {
+		ctas = 4
+	}
+	var n int64
+	for cta := 0; cta < ctas; cta++ {
+		for w := 0; w < k.WarpsPerCTA(); w++ {
+			n += int64(len(src.WarpTrace(cta, w)))
+		}
+	}
+	return n
+}
+
+// SweepPoint is one point of a Section 3.3 capacity sweep.
+type SweepPoint struct {
+	// Regs is the per-thread register allocation of this line.
+	Regs int
+	// Threads is the resident-thread cap of this point.
+	Threads int
+	// CapacityKB is the swept capacity (RF, shared, or cache).
+	CapacityKB int
+	// Perf is performance normalized to the sweep's reference point.
+	Perf float64
+	// Infeasible marks configurations that cannot run (e.g. one CTA does
+	// not fit); Perf is 0 for these.
+	Infeasible bool
+}
+
+// FigureSweep is one benchmark's set of sweep lines.
+type FigureSweep struct {
+	Benchmark string
+	Points    []SweepPoint
+}
+
+// Figure2Benchmarks are the register-capacity case studies.
+var Figure2Benchmarks = []string{"dgemm", "pcr", "needle", "bfs"}
+
+// ThreadSweep is the 256..1024 resident-thread axis of Figures 2-4.
+var ThreadSweep = []int{256, 512, 768, 1024}
+
+// Figure2 reproduces the performance-versus-register-file-capacity study:
+// lines are registers/thread from SpillBudgets, points are thread counts,
+// cache is fixed at 64 KB and shared memory is unbounded. Performance is
+// normalized to (64 regs, 1024 threads).
+func (r *Runner) Figure2() ([]FigureSweep, error) {
+	out := make([]FigureSweep, 0, len(Figure2Benchmarks))
+	for _, name := range Figure2Benchmarks {
+		k, err := workloads.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		sweep := FigureSweep{Benchmark: name}
+		ref := 0.0
+		for _, regs := range SpillBudgets {
+			for _, threads := range ThreadSweep {
+				eff := regs
+				if eff > k.RegsNeeded {
+					eff = k.RegsNeeded
+				}
+				rf := eff * 4 * threads
+				cfg := IsolationConfig(k, rf, 64<<10, threads)
+				res, err := r.Run(RunSpec{Kernel: k, Config: cfg, RegsPerThread: eff})
+				pt := SweepPoint{Regs: regs, Threads: threads, CapacityKB: rf >> 10}
+				if err != nil {
+					pt.Infeasible = true
+				} else {
+					pt.Perf = res.Performance()
+					if regs == 64 && threads == 1024 {
+						ref = pt.Perf
+					}
+				}
+				sweep.Points = append(sweep.Points, pt)
+			}
+		}
+		normalize(sweep.Points, ref)
+		out = append(out, sweep)
+	}
+	return out, nil
+}
+
+// Figure3Benchmarks are the shared-memory-capacity case studies.
+var Figure3Benchmarks = []string{"needle", "pcr", "lu", "sto"}
+
+// Figure3 reproduces performance versus shared-memory capacity: spill-free
+// registers, 64 KB cache, shared memory sized exactly for each resident
+// thread count. Normalized to 1024 threads.
+func (r *Runner) Figure3() ([]FigureSweep, error) {
+	out := make([]FigureSweep, 0, len(Figure3Benchmarks))
+	for _, name := range Figure3Benchmarks {
+		k, err := workloads.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		sweep := FigureSweep{Benchmark: name}
+		ref := 0.0
+		for _, threads := range ThreadSweep {
+			ctas := threads / k.ThreadsPerCTA
+			if ctas < 1 {
+				ctas = 1
+			}
+			shm := ctas * k.SharedBytesPerCTA
+			cfg := config.MemConfig{
+				Design:      config.Partitioned,
+				RFBytes:     occupancy.FullOccupancyRFBytes(k.RegsNeeded),
+				SharedBytes: shm,
+				CacheBytes:  64 << 10,
+				MaxThreads:  threads,
+			}
+			res, err := r.Run(RunSpec{Kernel: k, Config: cfg})
+			pt := SweepPoint{Threads: threads, CapacityKB: shm >> 10}
+			if err != nil {
+				pt.Infeasible = true
+			} else {
+				pt.Perf = res.Performance()
+				if threads == 1024 {
+					ref = pt.Perf
+				}
+			}
+			sweep.Points = append(sweep.Points, pt)
+		}
+		normalize(sweep.Points, ref)
+		out = append(out, sweep)
+	}
+	return out, nil
+}
+
+// Figure4Benchmarks are the cache-capacity case studies.
+var Figure4Benchmarks = []string{"bfs", "pcr", "mummer", "needle"}
+
+// Figure4CacheSizes is the swept cache capacity axis.
+var Figure4CacheSizes = []int{32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10}
+
+// Figure4 reproduces performance versus cache capacity: spill-free
+// registers, unbounded shared memory, lines are thread counts. Normalized
+// to (512 KB cache, 1024 threads).
+func (r *Runner) Figure4() ([]FigureSweep, error) {
+	out := make([]FigureSweep, 0, len(Figure4Benchmarks))
+	for _, name := range Figure4Benchmarks {
+		k, err := workloads.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		sweep := FigureSweep{Benchmark: name}
+		ref := 0.0
+		for _, threads := range ThreadSweep {
+			for _, cb := range Figure4CacheSizes {
+				cfg := IsolationConfig(k, occupancy.FullOccupancyRFBytes(k.RegsNeeded), cb, threads)
+				res, err := r.Run(RunSpec{Kernel: k, Config: cfg})
+				pt := SweepPoint{Threads: threads, CapacityKB: cb >> 10}
+				if err != nil {
+					pt.Infeasible = true
+				} else {
+					pt.Perf = res.Performance()
+					if threads == 1024 && cb == 512<<10 {
+						ref = pt.Perf
+					}
+				}
+				sweep.Points = append(sweep.Points, pt)
+			}
+		}
+		normalize(sweep.Points, ref)
+		out = append(out, sweep)
+	}
+	return out, nil
+}
+
+// normalize rescales sweep points by the reference performance.
+func normalize(pts []SweepPoint, ref float64) {
+	if ref == 0 {
+		return
+	}
+	for i := range pts {
+		pts[i].Perf /= ref
+	}
+}
+
+// Comparison is one benchmark's unified-versus-partitioned outcome
+// (Figures 7, 9, 10 and Table 6).
+type Comparison struct {
+	Benchmark string
+	// Config is the flexible design's resolved configuration.
+	Config config.MemConfig
+	// Threads is the resident thread count under the flexible design.
+	Threads int
+	// PerfRatio is flexible performance / baseline performance
+	// (higher is better).
+	PerfRatio float64
+	// EnergyRatio is flexible energy / baseline energy (lower is better).
+	EnergyRatio float64
+	// DRAMRatio is flexible DRAM traffic / baseline (lower is better).
+	DRAMRatio float64
+}
+
+// CompareUnified runs a kernel under the Section 4.5 allocation of a
+// unified memory of totalBytes and compares it with the kernel's baseline
+// partitioned run.
+func (r *Runner) CompareUnified(k *workloads.Kernel, totalBytes int) (Comparison, error) {
+	cfg, err := config.Allocate(k.Requirements(), totalBytes, 0)
+	if err != nil {
+		return Comparison{}, fmt.Errorf("allocate %s: %w", k.Name, err)
+	}
+	return r.compare(k, cfg)
+}
+
+// CompareFermi runs a kernel under the Fermi-like limited design (fixed
+// 256 KB register file, shared/cache split chosen per kernel from two
+// presets) and compares with baseline.
+func (r *Runner) CompareFermi(k *workloads.Kernel, totalBytes int) (Comparison, error) {
+	nonRF := totalBytes - config.BaselineRFBytes
+	cfg := config.ChooseFermi(k.Requirements(), nonRF, 0)
+	return r.compare(k, cfg)
+}
+
+func (r *Runner) compare(k *workloads.Kernel, cfg config.MemConfig) (Comparison, error) {
+	base, err := r.Baseline(k)
+	if err != nil {
+		return Comparison{}, err
+	}
+	res, err := r.Run(RunSpec{Kernel: k, Config: cfg})
+	if err != nil {
+		return Comparison{}, fmt.Errorf("%s under %v: %w", k.Name, cfg, err)
+	}
+	return Comparison{
+		Benchmark:   k.Name,
+		Config:      cfg,
+		Threads:     res.Occupancy.Threads,
+		PerfRatio:   float64(base.Counters.Cycles) / float64(res.Counters.Cycles),
+		EnergyRatio: res.Energy.Total() / base.Energy.Total(),
+		DRAMRatio:   float64(res.Counters.DRAMBytes()) / float64(base.Counters.DRAMBytes()),
+	}, nil
+}
+
+// Figure7 compares the 384 KB unified design against the equal-capacity
+// partitioned baseline for the no-benefit set; the paper's result is that
+// every change stays within about 1%.
+func (r *Runner) Figure7() ([]Comparison, error) {
+	return r.compareAll(workloads.NoBenefitSet(), config.BaselineTotalBytes, (*Runner).CompareUnified)
+}
+
+// Figure9 is the same comparison for the benefit set (gains of 4-71%).
+func (r *Runner) Figure9() ([]Comparison, error) {
+	return r.compareAll(workloads.BenefitSet(), config.BaselineTotalBytes, (*Runner).CompareUnified)
+}
+
+// Figure10 compares the Fermi-like limited-flexibility design for the
+// benefit set.
+func (r *Runner) Figure10() ([]Comparison, error) {
+	return r.compareAll(workloads.BenefitSet(), config.BaselineTotalBytes, (*Runner).CompareFermi)
+}
+
+func (r *Runner) compareAll(ks []*workloads.Kernel, total int,
+	f func(*Runner, *workloads.Kernel, int) (Comparison, error)) ([]Comparison, error) {
+	out := make([]Comparison, 0, len(ks))
+	for _, k := range ks {
+		c, err := f(r, k, total)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// Figure8Row is one benchmark's chosen partitioning of the 384 KB unified
+// memory (Figure 8).
+type Figure8Row struct {
+	Benchmark               string
+	RFKB, SharedKB, CacheKB int
+	Threads                 int
+}
+
+// Figure8 reports how the Section 4.5 algorithm divides 384 KB for the
+// benefit set.
+func (r *Runner) Figure8() ([]Figure8Row, error) {
+	var out []Figure8Row
+	for _, k := range workloads.BenefitSet() {
+		cfg, err := config.Allocate(k.Requirements(), config.BaselineTotalBytes, 0)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Figure8Row{
+			Benchmark: k.Name,
+			RFKB:      cfg.RFBytes >> 10,
+			SharedKB:  cfg.SharedBytes >> 10,
+			CacheKB:   cfg.CacheBytes >> 10,
+			Threads:   cfg.MaxThreads,
+		})
+	}
+	return out, nil
+}
+
+// Table5Row is the bank-conflict breakdown of one design (Table 5).
+type Table5Row struct {
+	Design    config.Design
+	Fractions [stats.ConflictBuckets]float64
+}
+
+// Table5 aggregates the per-instruction maximum-bank-accesses histogram
+// across the Figure 7 benchmarks for both designs.
+func (r *Runner) Table5() ([2]Table5Row, error) {
+	var out [2]Table5Row
+	for i, design := range []config.Design{config.Partitioned, config.Unified} {
+		var agg stats.Counters
+		for _, k := range workloads.NoBenefitSet() {
+			var res *Result
+			var err error
+			if design == config.Partitioned {
+				res, err = r.Baseline(k)
+			} else {
+				cfg, aerr := config.Allocate(k.Requirements(), config.BaselineTotalBytes, 0)
+				if aerr != nil {
+					return out, aerr
+				}
+				res, err = r.Run(RunSpec{Kernel: k, Config: cfg})
+			}
+			if err != nil {
+				return out, err
+			}
+			frac := res.Counters.ConflictFractions()
+			for b := range frac {
+				// Weight benchmarks equally, as the paper averages.
+				agg.ConflictHist[b] += int64(frac[b] * 1e6)
+			}
+		}
+		row := Table5Row{Design: design}
+		total := int64(0)
+		for _, v := range agg.ConflictHist {
+			total += v
+		}
+		for b, v := range agg.ConflictHist {
+			row.Fractions[b] = float64(v) / float64(total)
+		}
+		out[i] = row
+	}
+	return out, nil
+}
+
+// Table6Capacities are the unified-memory capacities of Table 6.
+var Table6Capacities = []int{128 << 10, 256 << 10, 384 << 10}
+
+// Table6Row is one benchmark's capacity-sensitivity row.
+type Table6Row struct {
+	Benchmark string
+	// Perf[i] and Energy[i] are normalized to the baseline partitioned
+	// design, for Table6Capacities[i].
+	Perf   [3]float64
+	Energy [3]float64
+	// Infeasible[i] marks capacities the kernel cannot fit.
+	Infeasible [3]bool
+}
+
+// Table6 evaluates unified-memory capacity sensitivity for the benefit
+// set plus an average row for the Figure 7 set.
+func (r *Runner) Table6() ([]Table6Row, error) {
+	rows := make([]Table6Row, 0, 9)
+	addRow := func(ks []*workloads.Kernel, label string) error {
+		row := Table6Row{Benchmark: label}
+		for i, total := range Table6Capacities {
+			perfProd, energyProd, n := 1.0, 1.0, 0
+			for _, k := range ks {
+				c, err := r.CompareUnified(k, total)
+				if err != nil {
+					row.Infeasible[i] = true
+					continue
+				}
+				perfProd *= c.PerfRatio
+				energyProd *= c.EnergyRatio
+				n++
+			}
+			if n > 0 {
+				row.Perf[i] = geomean(perfProd, n)
+				row.Energy[i] = geomean(energyProd, n)
+			}
+		}
+		rows = append(rows, row)
+		return nil
+	}
+	for _, k := range workloads.BenefitSet() {
+		if err := addRow([]*workloads.Kernel{k}, k.Name); err != nil {
+			return nil, err
+		}
+	}
+	if err := addRow(workloads.BenefitSet(), "average (benefit)"); err != nil {
+		return nil, err
+	}
+	if err := addRow(workloads.NoBenefitSet(), "figure-7 set (average)"); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+func geomean(prod float64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return math.Pow(prod, 1/float64(n))
+}
+
+// Figure11Point is one (blocking factor, thread count) needle measurement.
+type Figure11Point struct {
+	BF         int
+	Threads    int
+	SharedKB   int
+	Perf       float64
+	Infeasible bool
+}
+
+// Figure11BlockingFactors are the needle variants of the tuning study.
+var Figure11BlockingFactors = []int{16, 32, 64}
+
+// Figure11 reproduces the needle blocking-factor study: for each BF, sweep
+// resident threads and report performance against the shared-memory
+// capacity each point requires. Performance is normalized to the best
+// point observed (the paper normalizes to its largest configuration).
+func (r *Runner) Figure11() ([]FigureSweep, error) {
+	best := 0.0
+	sweeps := make([]FigureSweep, 0, len(Figure11BlockingFactors))
+	for _, bf := range Figure11BlockingFactors {
+		k := workloads.NeedleKernel(bf)
+		sweep := FigureSweep{Benchmark: fmt.Sprintf("needle BF=%d", bf)}
+		for threads := k.ThreadsPerCTA; threads <= config.MaxThreadsPerSM; threads += 2 * k.ThreadsPerCTA {
+			ctas := threads / k.ThreadsPerCTA
+			shm := ctas * k.SharedBytesPerCTA
+			cfg := config.MemConfig{
+				Design:      config.Partitioned,
+				RFBytes:     occupancy.FullOccupancyRFBytes(k.RegsNeeded),
+				SharedBytes: shm,
+				CacheBytes:  64 << 10,
+				MaxThreads:  threads,
+			}
+			res, err := r.Run(RunSpec{Kernel: k, Config: cfg})
+			pt := SweepPoint{Regs: bf, Threads: threads, CapacityKB: shm >> 10}
+			if err != nil {
+				pt.Infeasible = true
+			} else {
+				pt.Perf = res.Performance()
+				if pt.Perf > best {
+					best = pt.Perf
+				}
+			}
+			sweep.Points = append(sweep.Points, pt)
+		}
+		sweeps = append(sweeps, sweep)
+	}
+	for i := range sweeps {
+		normalize(sweeps[i].Points, best)
+	}
+	return sweeps, nil
+}
+
+// Table4Row is one bank energy entry (Table 4).
+type Table4Row struct {
+	Structure string
+	BankKB    int
+	ReadPJ    float64
+	WritePJ   float64
+}
+
+// Table4 reports the SRAM bank access energies of both designs.
+func Table4() []Table4Row {
+	entries := []struct {
+		structure string
+		bankBytes int
+	}{
+		{"256KB RF (partitioned)", 8 << 10},
+		{"64KB shared (partitioned)", 2 << 10},
+		{"64KB cache (partitioned)", 2 << 10},
+		{"384KB unified", 12 << 10},
+	}
+	out := make([]Table4Row, 0, len(entries))
+	for _, e := range entries {
+		rd, wr := energy.BankEnergy(e.bankBytes)
+		out = append(out, Table4Row{
+			Structure: e.structure,
+			BankKB:    e.bankBytes >> 10,
+			ReadPJ:    rd,
+			WritePJ:   wr,
+		})
+	}
+	return out
+}
+
+// MRFFraction returns the fraction of register-operand accesses served by
+// the MRF in a kernel's baseline run — the two-level hierarchy headline
+// (~40%, i.e. a 60% reduction).
+func (r *Runner) MRFFraction(k *workloads.Kernel) (float64, error) {
+	res, err := r.Baseline(k)
+	if err != nil {
+		return 0, err
+	}
+	return res.Counters.MRFAccessFraction(), nil
+}

@@ -1,0 +1,21 @@
+package energy_test
+
+import (
+	"fmt"
+
+	"repro/internal/energy"
+)
+
+// ExampleBankEnergy reproduces the paper's Table 4: per-16-byte-access
+// energies of the partitioned MRF bank (8 KB), the partitioned shared or
+// cache bank (2 KB), and the 384 KB unified design's bank (12 KB).
+func ExampleBankEnergy() {
+	for _, kb := range []int{8, 2, 12} {
+		r, w := energy.BankEnergy(kb << 10)
+		fmt.Printf("%d KB bank: read %.1f pJ, write %.1f pJ\n", kb, r, w)
+	}
+	// Output:
+	// 8 KB bank: read 9.8 pJ, write 11.8 pJ
+	// 2 KB bank: read 3.9 pJ, write 5.1 pJ
+	// 12 KB bank: read 12.1 pJ, write 14.9 pJ
+}

@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run(core.NewRunner(), "figure99"); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestTable4RendersPublishedValues(t *testing.T) {
+	out := Table4().String()
+	for _, want := range []string{"9.8", "11.8", "3.9", "5.1", "12.1", "14.9", "384KB unified"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 4 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestEveryExperimentRenders regenerates each experiment once and checks
+// the output is a non-trivial table. This is the end-to-end test of the
+// whole reproduction pipeline; it takes tens of seconds.
+func TestEveryExperimentRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment regeneration skipped in -short mode")
+	}
+	r := core.NewRunner() // shared: baselines are cached across experiments
+	for _, name := range Experiments {
+		tab, err := Run(r, name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		out := tab.String()
+		if lines := strings.Count(out, "\n"); lines < 4 {
+			t.Errorf("%s: suspiciously small table (%d lines)", name, lines)
+		}
+		if strings.Contains(out, "NaN") {
+			t.Errorf("%s: NaN leaked into output:\n%s", name, out)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tab, err := Run(core.NewRunner(), "figure8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "benchmark,") {
+		t.Errorf("CSV header wrong: %q", strings.SplitN(csv, "\n", 2)[0])
+	}
+	if strings.Count(csv, "\n") != 9 { // header + 8 benchmarks
+		t.Errorf("CSV has %d lines, want 9:\n%s", strings.Count(csv, "\n"), csv)
+	}
+}
+
+func TestChartRendersFigure11(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chart regeneration skipped in -short mode")
+	}
+	out, err := Chart(core.NewRunner(), "figure11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"needle BF=16", "needle BF=32", "needle BF=64", "shared memory (KB)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q", want)
+		}
+	}
+}
+
+func TestChartRejectsNonSweeps(t *testing.T) {
+	if _, err := Chart(core.NewRunner(), "table4"); err == nil {
+		t.Error("table4 is not chartable")
+	}
+}
+
+func TestChartRendersFigure2Lines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chart regeneration skipped in -short mode")
+	}
+	out, err := Chart(core.NewRunner(), "figure2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"figure2: dgemm", "figure2: needle", "18 regs", "64 regs", "RF capacity (KB)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure2 charts missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package isa
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{
+		OpNop: "NOP", OpALU: "ALU", OpSFU: "SFU", OpLDG: "LDG", OpSTG: "STG",
+		OpLDS: "LDS", OpSTS: "STS", OpTEX: "TEX", OpBAR: "BAR", OpEXIT: "EXIT",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+	if got := Op(200).String(); got != "Op(200)" {
+		t.Errorf("unknown op String() = %q", got)
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	tests := []struct {
+		op                                     Op
+		mem, global, shared, load, store, long bool
+	}{
+		{OpNop, false, false, false, false, false, false},
+		{OpALU, false, false, false, false, false, false},
+		{OpSFU, false, false, false, false, false, false},
+		{OpLDG, true, true, false, true, false, true},
+		{OpSTG, true, true, false, false, true, false},
+		{OpLDS, true, false, true, true, false, false},
+		{OpSTS, true, false, true, false, true, false},
+		{OpTEX, true, true, false, true, false, true},
+		{OpBAR, false, false, false, false, false, false},
+		{OpEXIT, false, false, false, false, false, false},
+	}
+	for _, tc := range tests {
+		if got := tc.op.IsMemory(); got != tc.mem {
+			t.Errorf("%v.IsMemory() = %v, want %v", tc.op, got, tc.mem)
+		}
+		if got := tc.op.IsGlobal(); got != tc.global {
+			t.Errorf("%v.IsGlobal() = %v, want %v", tc.op, got, tc.global)
+		}
+		if got := tc.op.IsShared(); got != tc.shared {
+			t.Errorf("%v.IsShared() = %v, want %v", tc.op, got, tc.shared)
+		}
+		if got := tc.op.IsLoad(); got != tc.load {
+			t.Errorf("%v.IsLoad() = %v, want %v", tc.op, got, tc.load)
+		}
+		if got := tc.op.IsStore(); got != tc.store {
+			t.Errorf("%v.IsStore() = %v, want %v", tc.op, got, tc.store)
+		}
+		if got := tc.op.IsLongLatency(); got != tc.long {
+			t.Errorf("%v.IsLongLatency() = %v, want %v", tc.op, got, tc.long)
+		}
+	}
+}
+
+func TestOperandValid(t *testing.T) {
+	if (Operand{Reg: NoReg, Space: SpaceMRF}).Valid() {
+		t.Error("NoReg operand should be invalid")
+	}
+	if (Operand{Reg: 3, Space: SpaceNone}).Valid() {
+		t.Error("SpaceNone operand should be invalid")
+	}
+	if !(Operand{Reg: 3, Space: SpaceLRF}).Valid() {
+		t.Error("r3@LRF should be valid")
+	}
+}
+
+func TestOperandString(t *testing.T) {
+	o := Operand{Reg: 7, Space: SpaceORF}
+	if got := o.String(); got != "r7@ORF" {
+		t.Errorf("String() = %q", got)
+	}
+	var empty Operand
+	if got := empty.String(); got != "-" {
+		t.Errorf("empty String() = %q", got)
+	}
+}
+
+func TestActiveThreadsMatchesBits(t *testing.T) {
+	f := func(mask uint32) bool {
+		wi := WarpInst{Mask: mask}
+		return wi.ActiveThreads() == bits.OnesCount32(mask)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNumSrcs(t *testing.T) {
+	wi := WarpInst{}
+	for i := range wi.Srcs {
+		wi.Srcs[i].Reg = NoReg
+	}
+	if got := wi.NumSrcs(); got != 0 {
+		t.Errorf("NumSrcs() = %d, want 0", got)
+	}
+	wi.Srcs[0] = Operand{Reg: 1, Space: SpaceMRF}
+	wi.Srcs[2] = Operand{Reg: 2, Space: SpaceLRF}
+	if got := wi.NumSrcs(); got != 2 {
+		t.Errorf("NumSrcs() = %d, want 2", got)
+	}
+}
+
+func TestWarpInstString(t *testing.T) {
+	wi := WarpInst{
+		Op:          OpALU,
+		Dst:         Operand{Reg: 1, Space: SpaceLRF},
+		DstMRFWrite: true,
+	}
+	for i := range wi.Srcs {
+		wi.Srcs[i].Reg = NoReg
+	}
+	wi.Srcs[0] = Operand{Reg: 2, Space: SpaceMRF}
+	got := wi.String()
+	want := "ALU r1@LRF+MRF r2@MRF"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestRegSpaceString(t *testing.T) {
+	if SpaceMRF.String() != "MRF" || SpaceORF.String() != "ORF" || SpaceLRF.String() != "LRF" {
+		t.Error("space names wrong")
+	}
+}

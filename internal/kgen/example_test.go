@@ -1,0 +1,33 @@
+package kgen_test
+
+import (
+	"fmt"
+
+	"repro/internal/kgen"
+)
+
+// ExampleBuilder shows the placement pass at work: a value consumed by the
+// next instruction lives in the last result file, one consumed a little
+// later in the operand register file, and the result of a global load —
+// whose consumer runs after the warp is descheduled — in the main register
+// file.
+func ExampleBuilder() {
+	b := kgen.NewBuilder(kgen.Config{})
+	b.ALU(0)                          // r0: read by the next instruction
+	b.ALU(1, 0)                       // r1: read two results later
+	b.ALU(2)                          //
+	b.ALU(3, 1)                       //
+	b.LDG(4, 3, kgen.Coalesced(0, 4)) // r4: long-latency load
+	b.ALU(5, 4)                       // consuming r4 forces a deschedule
+	trace := b.Finish()
+	for _, wi := range trace[:6] {
+		fmt.Println(wi.String())
+	}
+	// Output:
+	// ALU r0@LRF
+	// ALU r1@ORF r0@LRF
+	// ALU r2@MRF
+	// ALU r3@LRF r1@ORF
+	// LDG r4@MRF r3@LRF
+	// ALU r5@MRF r4@MRF
+}

@@ -1,0 +1,121 @@
+// Package occupancy computes CTA-granular thread residency: how many
+// cooperative thread arrays of a kernel fit on an SM given the register
+// file and shared memory capacities of a configuration.
+//
+// Occupancy is the lever through which local-memory capacity affects
+// performance in the paper: a larger register file or shared memory admits
+// more concurrent threads, which hides more DRAM latency.
+package occupancy
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+)
+
+// Limiter identifies which resource bounds residency.
+type Limiter uint8
+
+const (
+	// LimitThreads means the architectural (or requested) thread cap binds.
+	LimitThreads Limiter = iota
+	// LimitRegisters means register file capacity binds.
+	LimitRegisters
+	// LimitShared means shared memory capacity binds.
+	LimitShared
+	// LimitNone means not even one CTA fits.
+	LimitNone
+)
+
+// String names the limiter.
+func (l Limiter) String() string {
+	switch l {
+	case LimitThreads:
+		return "threads"
+	case LimitRegisters:
+		return "registers"
+	case LimitShared:
+		return "shared"
+	case LimitNone:
+		return "none-fit"
+	}
+	return fmt.Sprintf("Limiter(%d)", uint8(l))
+}
+
+// Result describes the residency computation.
+type Result struct {
+	// CTAs is the number of concurrently resident CTAs.
+	CTAs int
+	// Threads is CTAs * ThreadsPerCTA.
+	Threads int
+	// Warps is Threads / 32.
+	Warps int
+	// Limiter names the binding resource.
+	Limiter Limiter
+	// RFBytesUsed and SharedBytesUsed are the footprints of the resident
+	// CTAs.
+	RFBytesUsed, SharedBytesUsed int
+}
+
+// Compute returns the residency of a kernel with the given requirements
+// under cfg. regsAllocated is the register count actually allocated per
+// thread, which may be below req.RegsPerThread when the sweep forces
+// spills; pass 0 to use req.RegsPerThread.
+func Compute(req config.KernelRequirements, cfg config.MemConfig, regsAllocated int) Result {
+	if regsAllocated <= 0 {
+		regsAllocated = req.RegsPerThread
+	}
+	if req.ThreadsPerCTA <= 0 {
+		return Result{Limiter: LimitNone}
+	}
+	limit := cfg.ThreadLimit()
+	ctasByThreads := limit / req.ThreadsPerCTA
+	ctas := ctasByThreads
+	limiter := LimitThreads
+
+	rfPerCTA := regsAllocated * 4 * req.ThreadsPerCTA
+	if rfPerCTA > 0 {
+		byRF := cfg.RFBytes / rfPerCTA
+		if byRF < ctas {
+			ctas, limiter = byRF, LimitRegisters
+		}
+	}
+	if req.SharedBytesPerCTA > 0 {
+		byShmem := cfg.SharedBytes / req.SharedBytesPerCTA
+		if byShmem < ctas {
+			ctas, limiter = byShmem, LimitShared
+		}
+	}
+	if ctas <= 0 {
+		return Result{Limiter: LimitNone}
+	}
+	return Result{
+		CTAs:            ctas,
+		Threads:         ctas * req.ThreadsPerCTA,
+		Warps:           ctas * req.ThreadsPerCTA / 32,
+		Limiter:         limiter,
+		RFBytesUsed:     ctas * rfPerCTA,
+		SharedBytesUsed: ctas * req.SharedBytesPerCTA,
+	}
+}
+
+// FullOccupancyRFBytes returns the register file capacity needed to run the
+// architectural thread limit without spills (Table 1, column 8).
+func FullOccupancyRFBytes(regsPerThread int) int {
+	return regsPerThread * 4 * config.MaxThreadsPerSM
+}
+
+// MinRegsForResidency returns the largest register allocation (capped at
+// need) that still admits at least `threads` resident threads under an RF
+// of rfBytes, or 0 if even one register per thread does not fit. It lets
+// sweeps trade spills against thread count the way Figure 2 does.
+func MinRegsForResidency(rfBytes, threads, need int) int {
+	if threads <= 0 {
+		return 0
+	}
+	regs := rfBytes / (4 * threads)
+	if regs > need {
+		regs = need
+	}
+	return regs
+}

@@ -1,0 +1,121 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tab := NewTable("Title", "name", "value")
+	tab.AddRow("short", "1")
+	tab.AddRow("a-much-longer-name", "22")
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "Title" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Errorf("header = %q", lines[1])
+	}
+	// The value column must start at the same offset in every row.
+	idx := strings.Index(lines[3], "1")
+	if strings.Index(lines[4], "22") != idx {
+		t.Errorf("columns not aligned:\n%s", out)
+	}
+}
+
+func TestTableTruncatesExtraCells(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRow("1", "2", "3")
+	if strings.Contains(tab.String(), "3") {
+		t.Error("extra cell should be dropped")
+	}
+}
+
+func TestAddRowfFormatsFloats(t *testing.T) {
+	tab := NewTable("", "x", "y")
+	tab.AddRowf(1.23456, 7)
+	if !strings.Contains(tab.String(), "1.23") {
+		t.Errorf("float not formatted: %s", tab.String())
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tab := NewTable("ignored", "a", "b")
+	tab.AddRow(`with,comma`, `with"quote`)
+	csv := tab.CSV()
+	if !strings.Contains(csv, `"with,comma"`) || !strings.Contains(csv, `"with""quote"`) {
+		t.Errorf("CSV escaping wrong: %s", csv)
+	}
+	if strings.Contains(csv, "ignored") {
+		t.Error("CSV should omit the title")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Ratio(1.234) != "1.23" {
+		t.Errorf("Ratio = %q", Ratio(1.234))
+	}
+	if Ratio(0) != "-" {
+		t.Errorf("Ratio(0) = %q", Ratio(0))
+	}
+	nan := 0.0
+	nan /= nan
+	if Ratio(nan) != "-" {
+		t.Errorf("Ratio(NaN) = %q", Ratio(nan))
+	}
+	if Percent(0.123) != "12.3%" {
+		t.Errorf("Percent = %q", Percent(0.123))
+	}
+	if KB(64<<10) != "64K" {
+		t.Errorf("KB = %q", KB(64<<10))
+	}
+}
+
+func TestChartRendersSeries(t *testing.T) {
+	c := NewChart("title", "x", "y")
+	c.AddSeries("a", []float64{0, 1, 2}, []float64{0, 1, 4})
+	c.AddSeries("b", []float64{0, 1, 2}, []float64{4, 1, 0})
+	out := c.String()
+	if !strings.Contains(out, "title") || !strings.Contains(out, "* a") || !strings.Contains(out, "o b") {
+		t.Errorf("chart missing parts:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("markers not plotted:\n%s", out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	c := NewChart("t", "x", "y")
+	if !strings.Contains(c.String(), "no data") {
+		t.Error("empty chart should say so")
+	}
+	c.AddSeries("nan", []float64{math.NaN()}, []float64{1})
+	if !strings.Contains(c.String(), "no data") {
+		t.Error("NaN-only series should be dropped")
+	}
+}
+
+func TestChartDegenerateExtent(t *testing.T) {
+	c := NewChart("t", "x", "y")
+	c.AddSeries("point", []float64{5}, []float64{5})
+	out := c.String()
+	if strings.Contains(out, "no data") {
+		t.Errorf("single point should plot:\n%s", out)
+	}
+}
+
+func TestChartSetSize(t *testing.T) {
+	c := NewChart("t", "x", "y")
+	c.SetSize(20, 5)
+	c.AddSeries("a", []float64{0, 10}, []float64{0, 1})
+	lines := strings.Split(c.String(), "\n")
+	// title + 5 rows + axis + xlabel + legend
+	if len(lines) < 8 {
+		t.Errorf("unexpected layout:\n%s", c.String())
+	}
+}

@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordConflictBuckets(t *testing.T) {
+	var c Counters
+	c.RecordConflict(1)
+	c.RecordConflict(2)
+	c.RecordConflict(3)
+	c.RecordConflict(4)
+	c.RecordConflict(5)
+	c.RecordConflict(9)
+	want := [ConflictBuckets]int64{1, 1, 1, 1, 2}
+	if c.ConflictHist != want {
+		t.Errorf("ConflictHist = %v, want %v", c.ConflictHist, want)
+	}
+	// Penalties: 0+1+2+3+4+8 = 18.
+	if c.ConflictCycles != 18 {
+		t.Errorf("ConflictCycles = %d, want 18", c.ConflictCycles)
+	}
+}
+
+func TestRecordConflictClampsBelowOne(t *testing.T) {
+	var c Counters
+	c.RecordConflict(0)
+	if c.ConflictHist[0] != 1 || c.ConflictCycles != 0 {
+		t.Errorf("zero-access instruction should land in bucket 0 with no penalty: %v", c.ConflictHist)
+	}
+}
+
+func TestConflictFractionsSumToOne(t *testing.T) {
+	f := func(a, b, d, e, g uint8) bool {
+		var c Counters
+		c.ConflictHist = [ConflictBuckets]int64{int64(a), int64(b), int64(d), int64(e), int64(g)}
+		total := int64(a) + int64(b) + int64(d) + int64(e) + int64(g)
+		fr := c.ConflictFractions()
+		sum := 0.0
+		for _, v := range fr {
+			sum += v
+		}
+		if total == 0 {
+			return sum == 0
+		}
+		return sum > 0.999 && sum < 1.001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDRAMAccessesRoundsUp(t *testing.T) {
+	c := Counters{DRAMReadBytes: 33}
+	if got := c.DRAMAccesses(); got != 2 {
+		t.Errorf("DRAMAccesses() = %d, want 2", got)
+	}
+	c = Counters{DRAMReadBytes: 64, DRAMWriteBytes: 64}
+	if got := c.DRAMAccesses(); got != 4 {
+		t.Errorf("DRAMAccesses() = %d, want 4", got)
+	}
+}
+
+func TestMRFAccessFraction(t *testing.T) {
+	c := Counters{MRFReads: 2, MRFWrites: 2, ORFReads: 2, LRFReads: 2, LRFWrites: 2}
+	if got := c.MRFAccessFraction(); got != 0.4 {
+		t.Errorf("MRFAccessFraction() = %v, want 0.4", got)
+	}
+	var zero Counters
+	if zero.MRFAccessFraction() != 0 {
+		t.Error("empty counters should report 0")
+	}
+}
+
+func TestCacheHitRateAndIPC(t *testing.T) {
+	c := Counters{CacheProbes: 10, CacheHits: 7, Cycles: 100, WarpInsts: 50}
+	if got := c.CacheHitRate(); got != 0.7 {
+		t.Errorf("CacheHitRate() = %v", got)
+	}
+	if got := c.IPC(); got != 0.5 {
+		t.Errorf("IPC() = %v", got)
+	}
+	var zero Counters
+	if zero.CacheHitRate() != 0 || zero.IPC() != 0 {
+		t.Error("zero counters should report 0 rates")
+	}
+}
+
+func TestAddAccumulatesEverything(t *testing.T) {
+	a := Counters{
+		Cycles: 1, WarpInsts: 2, SpillInsts: 3, ThreadInsts: 4,
+		ConflictCycles: 5, ArbitrationConflicts: 6,
+		MRFReads: 7, MRFWrites: 8, ORFReads: 9, ORFWrites: 10,
+		LRFReads: 11, LRFWrites: 12, SharedReads: 13, SharedWrites: 14,
+		CacheProbes: 15, CacheHits: 16, CacheMisses: 17,
+		CacheDataReads: 18, CacheDataWrites: 19,
+		DRAMReadBytes: 20, DRAMWriteBytes: 21, CTAsRetired: 22, ThreadsRun: 23,
+		MaxResidentThreads: 256,
+	}
+	a.ConflictHist = [ConflictBuckets]int64{1, 2, 3, 4, 5}
+	b := a // copy
+	b.MaxResidentThreads = 512
+	a.Add(&b)
+	if a.Cycles != 2 || a.WarpInsts != 4 || a.SpillInsts != 6 || a.ThreadInsts != 8 {
+		t.Error("core counters not doubled")
+	}
+	if a.DRAMWriteBytes != 42 || a.ThreadsRun != 46 {
+		t.Error("tail counters not doubled")
+	}
+	if a.ConflictHist != [ConflictBuckets]int64{2, 4, 6, 8, 10} {
+		t.Errorf("ConflictHist = %v", a.ConflictHist)
+	}
+	if a.MaxResidentThreads != 512 {
+		t.Errorf("MaxResidentThreads = %d, want max 512", a.MaxResidentThreads)
+	}
+}
+
+func TestStringContainsHeadlines(t *testing.T) {
+	c := Counters{Cycles: 10, WarpInsts: 5}
+	s := c.String()
+	if s == "" {
+		t.Error("String() empty")
+	}
+}

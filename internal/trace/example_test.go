@@ -1,0 +1,37 @@
+package trace_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Example records a benchmark's trace, round-trips it through the binary
+// format, and profiles it — the Ocelot-style interchange workflow.
+func Example() {
+	k, err := workloads.ByName("vectoradd")
+	if err != nil {
+		panic(err)
+	}
+	recorded := trace.Record(&workloads.Source{K: k, Seed: 1})
+
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, recorded); err != nil {
+		panic(err)
+	}
+	loaded, err := trace.Read(&buf)
+	if err != nil {
+		panic(err)
+	}
+
+	p := trace.Analyze(loaded)
+	fmt.Println("round trip preserved instructions:", loaded.Instructions() == recorded.Instructions())
+	fmt.Println("registers used:", p.RegistersUsed)
+	fmt.Printf("lines per global access: %.0f (perfectly coalesced)\n", p.AvgLinesPerAccess)
+	// Output:
+	// round trip preserved instructions: true
+	// registers used: 9
+	// lines per global access: 1 (perfectly coalesced)
+}

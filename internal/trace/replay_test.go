@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/sm"
+	"repro/internal/workloads"
+)
+
+// TestReplayFidelity checks the interchange guarantee: running a recorded
+// (and round-tripped) trace through the simulator produces exactly the
+// same timing and traffic as running the live source.
+func TestReplayFidelity(t *testing.T) {
+	for _, name := range []string{"pcr", "needle", "mummer"} {
+		k := mustKernel(name)
+		src := &workloads.Source{K: k, Seed: 1}
+
+		live, err := sm.New(config.Baseline(), sm.DefaultParams(), src, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		liveCounters, err := live.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var buf bytes.Buffer
+		if err := Write(&buf, Record(src)); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replay, err := sm.New(config.Baseline(), sm.DefaultParams(), loaded, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replayCounters, err := replay.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if liveCounters.Cycles != replayCounters.Cycles ||
+			liveCounters.WarpInsts != replayCounters.WarpInsts ||
+			liveCounters.DRAMBytes() != replayCounters.DRAMBytes() ||
+			liveCounters.ConflictCycles != replayCounters.ConflictCycles {
+			t.Errorf("%s: replay diverged: cycles %d vs %d, insts %d vs %d, dram %d vs %d",
+				name, liveCounters.Cycles, replayCounters.Cycles,
+				liveCounters.WarpInsts, replayCounters.WarpInsts,
+				liveCounters.DRAMBytes(), replayCounters.DRAMBytes())
+		}
+	}
+}

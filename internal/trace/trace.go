@@ -1,0 +1,204 @@
+// Package trace serializes warp instruction traces and computes trace
+// statistics.
+//
+// The paper's evaluation flow traced real CUDA binaries with Ocelot and
+// fed the traces to its simulator. This package provides the equivalent
+// interchange point for this repository: any TraceSource (the synthetic
+// workloads, or traces converted from an external tracer) can be recorded
+// to a compact binary file, reloaded later, and replayed through the SM
+// simulator byte-for-byte. It also computes the static profile of a trace
+// (instruction mix, operand placement, memory footprint and reuse), which
+// cmd/tracestat renders.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+)
+
+// magic identifies the file format; the trailing digit is the version.
+var magic = [8]byte{'G', 'P', 'U', 'T', 'R', 'C', '0', '1'}
+
+// Source is the subset of sm.TraceSource needed here (redeclared to avoid
+// an import cycle; sm.TraceSource satisfies it structurally).
+type Source interface {
+	Grid() (ctas, warpsPerCTA int)
+	WarpTrace(cta, warp int) []isa.WarpInst
+}
+
+// Trace is a fully materialized kernel grid.
+type Trace struct {
+	CTAs        int
+	WarpsPerCTA int
+	// Warps holds the per-warp instruction streams, indexed
+	// [cta*WarpsPerCTA + warp].
+	Warps [][]isa.WarpInst
+}
+
+// Grid implements Source.
+func (t *Trace) Grid() (int, int) { return t.CTAs, t.WarpsPerCTA }
+
+// WarpTrace implements Source.
+func (t *Trace) WarpTrace(cta, warp int) []isa.WarpInst {
+	return t.Warps[cta*t.WarpsPerCTA+warp]
+}
+
+// Instructions returns the total dynamic warp-instruction count.
+func (t *Trace) Instructions() int64 {
+	var n int64
+	for _, w := range t.Warps {
+		n += int64(len(w))
+	}
+	return n
+}
+
+// Record materializes every warp of a source into a Trace.
+func Record(src Source) *Trace {
+	ctas, warps := src.Grid()
+	t := &Trace{CTAs: ctas, WarpsPerCTA: warps, Warps: make([][]isa.WarpInst, ctas*warps)}
+	for c := 0; c < ctas; c++ {
+		for w := 0; w < warps; w++ {
+			t.Warps[c*warps+w] = src.WarpTrace(c, w)
+		}
+	}
+	return t
+}
+
+// Write serializes the trace.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	hdr := [2]uint32{uint32(t.CTAs), uint32(t.WarpsPerCTA)}
+	if err := binary.Write(bw, binary.LittleEndian, hdr[:]); err != nil {
+		return err
+	}
+	for _, warp := range t.Warps {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(warp))); err != nil {
+			return err
+		}
+		for i := range warp {
+			if err := writeInst(bw, &warp[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// instFlags packs the boolean instruction fields.
+const (
+	flagMRFWrite = 1 << 0
+	flagSpill    = 1 << 1
+	flagAddrs    = 1 << 2
+)
+
+func writeInst(w io.Writer, wi *isa.WarpInst) error {
+	flags := byte(0)
+	if wi.DstMRFWrite {
+		flags |= flagMRFWrite
+	}
+	if wi.Spill {
+		flags |= flagSpill
+	}
+	if wi.Addrs != nil {
+		flags |= flagAddrs
+	}
+	buf := []byte{
+		byte(wi.Op), flags,
+		wi.Dst.Reg, byte(wi.Dst.Space),
+		wi.Srcs[0].Reg, byte(wi.Srcs[0].Space),
+		wi.Srcs[1].Reg, byte(wi.Srcs[1].Space),
+		wi.Srcs[2].Reg, byte(wi.Srcs[2].Space),
+	}
+	if _, err := w.Write(buf); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, wi.Mask); err != nil {
+		return err
+	}
+	if wi.Addrs != nil {
+		if err := binary.Write(w, binary.LittleEndian, wi.Addrs[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// limits guarding against corrupt files.
+const (
+	maxWarps        = 1 << 20
+	maxInstsPerWarp = 1 << 24
+)
+
+// Read deserializes a trace written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, errors.New("trace: not a GPUTRC01 trace file")
+	}
+	var hdr [2]uint32
+	if err := binary.Read(br, binary.LittleEndian, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	t := &Trace{CTAs: int(hdr[0]), WarpsPerCTA: int(hdr[1])}
+	if t.CTAs <= 0 || t.WarpsPerCTA <= 0 ||
+		t.CTAs > maxWarps || t.WarpsPerCTA > maxWarps || t.CTAs*t.WarpsPerCTA > maxWarps {
+		return nil, fmt.Errorf("trace: implausible grid %dx%d", t.CTAs, t.WarpsPerCTA)
+	}
+	n := t.CTAs * t.WarpsPerCTA
+	t.Warps = make([][]isa.WarpInst, n)
+	for i := range t.Warps {
+		var count uint32
+		if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+			return nil, fmt.Errorf("trace: warp %d length: %w", i, err)
+		}
+		if count > maxInstsPerWarp {
+			return nil, fmt.Errorf("trace: warp %d implausibly long (%d)", i, count)
+		}
+		warp := make([]isa.WarpInst, count)
+		for j := range warp {
+			if err := readInst(br, &warp[j]); err != nil {
+				return nil, fmt.Errorf("trace: warp %d inst %d: %w", i, j, err)
+			}
+		}
+		t.Warps[i] = warp
+	}
+	return t, nil
+}
+
+func readInst(r io.Reader, wi *isa.WarpInst) error {
+	var buf [10]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return err
+	}
+	wi.Op = isa.Op(buf[0])
+	flags := buf[1]
+	wi.DstMRFWrite = flags&flagMRFWrite != 0
+	wi.Spill = flags&flagSpill != 0
+	wi.Dst = isa.Operand{Reg: buf[2], Space: isa.RegSpace(buf[3])}
+	wi.Srcs[0] = isa.Operand{Reg: buf[4], Space: isa.RegSpace(buf[5])}
+	wi.Srcs[1] = isa.Operand{Reg: buf[6], Space: isa.RegSpace(buf[7])}
+	wi.Srcs[2] = isa.Operand{Reg: buf[8], Space: isa.RegSpace(buf[9])}
+	if err := binary.Read(r, binary.LittleEndian, &wi.Mask); err != nil {
+		return err
+	}
+	if flags&flagAddrs != 0 {
+		var av isa.AddrVec
+		if err := binary.Read(r, binary.LittleEndian, av[:]); err != nil {
+			return err
+		}
+		wi.Addrs = &av
+	}
+	return nil
+}

@@ -1,0 +1,257 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+	"repro/internal/kgen"
+	"repro/internal/workloads"
+)
+
+// buildTrace makes a small deterministic trace.
+func buildTrace() *Trace {
+	src := &workloads.Source{K: mustKernel("vectoradd"), Seed: 3}
+	t := Record(limitGrid{src, 3})
+	return t
+}
+
+func mustKernel(name string) *workloads.Kernel {
+	k, err := workloads.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// limitGrid caps the CTA count of a source for fast tests.
+type limitGrid struct {
+	src  Source
+	ctas int
+}
+
+func (l limitGrid) Grid() (int, int) {
+	_, w := l.src.Grid()
+	return l.ctas, w
+}
+func (l limitGrid) WarpTrace(c, w int) []isa.WarpInst { return l.src.WarpTrace(c, w) }
+
+func TestRoundTrip(t *testing.T) {
+	orig := buildTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CTAs != orig.CTAs || got.WarpsPerCTA != orig.WarpsPerCTA {
+		t.Fatalf("grid mismatch: %d/%d vs %d/%d", got.CTAs, got.WarpsPerCTA, orig.CTAs, orig.WarpsPerCTA)
+	}
+	if !reflect.DeepEqual(got.Warps, orig.Warps) {
+		t.Fatal("instruction streams differ after round trip")
+	}
+}
+
+func TestRoundTripRandomInstructions(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 9))
+		warp := make([]isa.WarpInst, int(n%40)+1)
+		for i := range warp {
+			wi := &warp[i]
+			wi.Op = isa.Op(rng.Uint32N(10))
+			wi.Mask = rng.Uint32()
+			if wi.Mask == 0 {
+				wi.Mask = 1
+			}
+			wi.Dst = isa.Operand{Reg: uint8(rng.Uint32N(64)), Space: isa.RegSpace(rng.Uint32N(4))}
+			for s := range wi.Srcs {
+				wi.Srcs[s] = isa.Operand{Reg: uint8(rng.Uint32N(64)), Space: isa.RegSpace(rng.Uint32N(4))}
+			}
+			wi.DstMRFWrite = rng.Uint32N(2) == 0
+			wi.Spill = rng.Uint32N(2) == 0
+			if rng.Uint32N(2) == 0 {
+				var av isa.AddrVec
+				for l := range av {
+					av[l] = rng.Uint32()
+				}
+				wi.Addrs = &av
+			}
+		}
+		orig := &Trace{CTAs: 1, WarpsPerCTA: 1, Warps: [][]isa.WarpInst{warp}}
+		var buf bytes.Buffer
+		if err := Write(&buf, orig); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got.Warps, orig.Warps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not a trace at all")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Read(bytes.NewReader(magic[:])); err == nil {
+		t.Error("truncated header accepted")
+	}
+	// Corrupt grid dimensions.
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := Read(&buf); err == nil {
+		t.Error("implausible grid accepted")
+	}
+}
+
+func TestTruncatedFile(t *testing.T) {
+	orig := buildTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()/2]
+	if _, err := Read(bytes.NewReader(cut)); err == nil {
+		t.Error("truncated trace accepted")
+	}
+}
+
+func TestRecordMatchesSource(t *testing.T) {
+	src := &workloads.Source{K: mustKernel("bfs"), Seed: 3}
+	tr := Record(limitGrid{src, 2})
+	if got := tr.WarpTrace(1, 3); !reflect.DeepEqual(got, src.WarpTrace(1, 3)) {
+		t.Error("recorded warp differs from source")
+	}
+	if tr.Instructions() == 0 {
+		t.Error("empty recording")
+	}
+}
+
+func TestAnalyzeCounts(t *testing.T) {
+	b := kgen.NewBuilder(kgen.Config{})
+	b.ALU(0)
+	b.ALU(1, 0)
+	b.LDG(2, 1, kgen.Coalesced(0, 4))   // line 0
+	b.LDG(3, 1, kgen.Coalesced(128, 4)) // line 1
+	b.LDG(4, 1, kgen.Coalesced(0, 4))   // line 0 again: reuse distance 1
+	b.STS(4, 0, kgen.Coalesced(64, 4))  // shared footprint 64..191
+	warp := b.Finish()
+	tr := &Trace{CTAs: 1, WarpsPerCTA: 1, Warps: [][]isa.WarpInst{warp}}
+	p := Analyze(tr)
+	if p.Instructions != int64(len(warp)) {
+		t.Errorf("Instructions = %d, want %d", p.Instructions, len(warp))
+	}
+	if p.OpCounts[isa.OpLDG] != 3 || p.OpCounts[isa.OpSTS] != 1 {
+		t.Errorf("op mix wrong: %v", p.OpCounts)
+	}
+	if p.GlobalFootprintLines != 2 {
+		t.Errorf("footprint = %d lines, want 2", p.GlobalFootprintLines)
+	}
+	if p.GlobalLineAccesses != 3 {
+		t.Errorf("line accesses = %d, want 3", p.GlobalLineAccesses)
+	}
+	if p.ReuseHistogram[0] != 1 {
+		t.Errorf("one short-distance reuse expected: %v", p.ReuseHistogram)
+	}
+	if p.MaxSharedAddr != 64+31*4+4 {
+		t.Errorf("MaxSharedAddr = %d", p.MaxSharedAddr)
+	}
+	if p.RegistersUsed != 5 {
+		t.Errorf("RegistersUsed = %d, want 5", p.RegistersUsed)
+	}
+	if p.AvgLinesPerAccess != 1 {
+		t.Errorf("AvgLinesPerAccess = %v, want 1 (fully coalesced)", p.AvgLinesPerAccess)
+	}
+}
+
+func TestAnalyzeReuseDistances(t *testing.T) {
+	// Touch 600 distinct lines then re-touch line 0: the reuse distance
+	// (~600 distinct lines) exceeds the 512-line bucket but fits 2048.
+	b := kgen.NewBuilder(kgen.Config{})
+	b.ALU(0)
+	for i := 0; i < 600; i++ {
+		b.LDG(1, 0, kgen.Broadcast(uint32(i)*128))
+	}
+	b.LDG(1, 0, kgen.Broadcast(0))
+	tr := &Trace{CTAs: 1, WarpsPerCTA: 1, Warps: [][]isa.WarpInst{b.Finish()}}
+	p := Analyze(tr)
+	if p.ReuseHistogram[1] != 1 {
+		t.Errorf("reuse histogram = %v, want one entry in the 512..2048 bucket", p.ReuseHistogram)
+	}
+	if p.GlobalFootprintLines != 600 {
+		t.Errorf("footprint = %d, want 600", p.GlobalFootprintLines)
+	}
+}
+
+func TestProfileDerivedMetrics(t *testing.T) {
+	p := &Profile{
+		MRFReads: 2, MRFWrites: 2, ORFReads: 2, LRFReads: 2, LRFWrites: 2,
+		GlobalFootprintLines: 4, GlobalLineAccesses: 12,
+	}
+	if got := p.MRFOperandFraction(); got != 0.4 {
+		t.Errorf("MRFOperandFraction = %v", got)
+	}
+	if got := p.ReuseFactor(); got != 3 {
+		t.Errorf("ReuseFactor = %v", got)
+	}
+}
+
+func TestTopOpsSorted(t *testing.T) {
+	p := &Profile{OpCounts: map[isa.Op]int64{isa.OpALU: 10, isa.OpLDG: 20, isa.OpSTS: 5}}
+	ops := p.TopOps()
+	if len(ops) != 3 || ops[0] != isa.OpLDG || ops[2] != isa.OpSTS {
+		t.Errorf("TopOps = %v", ops)
+	}
+}
+
+func TestFenwick(t *testing.T) {
+	f := newFenwick(8)
+	f.add(3, 5)
+	f.add(7, 2)
+	if f.sum(2) != 0 || f.sum(3) != 5 || f.sum(8) != 7 {
+		t.Errorf("fenwick sums wrong: %d %d %d", f.sum(2), f.sum(3), f.sum(8))
+	}
+	f.add(3, -5)
+	if f.sum(8) != 2 {
+		t.Errorf("after removal sum = %d", f.sum(8))
+	}
+}
+
+// TestCorruptionSafety flips bytes in a valid trace file and checks that
+// Read either errors or returns a structurally valid trace — it must
+// never panic or hang on corrupt input.
+func TestCorruptionSafety(t *testing.T) {
+	orig := buildTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	rng := rand.New(rand.NewPCG(11, 13))
+	for trial := 0; trial < 200; trial++ {
+		corrupted := append([]byte(nil), clean...)
+		for flips := 0; flips < 1+trial%4; flips++ {
+			i := rng.IntN(len(corrupted))
+			corrupted[i] ^= byte(1 << rng.UintN(8))
+		}
+		tr, err := Read(bytes.NewReader(corrupted))
+		if err != nil {
+			continue
+		}
+		// If it parsed, it must be self-consistent.
+		if len(tr.Warps) != tr.CTAs*tr.WarpsPerCTA {
+			t.Fatalf("trial %d: inconsistent parsed trace", trial)
+		}
+	}
+}

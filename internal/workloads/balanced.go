@@ -1,0 +1,525 @@
+package workloads
+
+import (
+	"repro/internal/kgen"
+)
+
+// The balanced / minimal-capacity group of Table 1: benchmarks written to
+// fit early GPUs. Working sets stay below the 64 KB baseline cache, shared
+// footprints are small, and register demand is modest, so these are the
+// Figure 7 set: the unified design must neither help nor hurt them by more
+// than ~1%.
+const (
+	hotspotGridBytes uint32 = 24 << 10
+	hotspotPower     uint32 = 0x2000_0000
+	hotspotOut       uint32 = 0x4000_0000
+	rgInBase         uint32 = 0
+	rgOutBase        uint32 = 0x4000_0000
+	sadRefBytes      uint32 = 32 << 10
+	sadFrameBase     uint32 = 0x2000_0000
+	sadOutBase       uint32 = 0x4000_0000
+	spInBaseA        uint32 = 0
+	spInBaseB        uint32 = 0x2000_0000
+	spOutBase        uint32 = 0x4000_0000
+	sgemvMatBase     uint32 = 0
+	sgemvVecBytes    uint32 = 16 << 10
+	sgemvVecBase     uint32 = 0x2000_0000
+	sgemvOutBase     uint32 = 0x4000_0000
+	sobolDirBytes    uint32 = 4 << 10
+	sobolOutBase     uint32 = 0x4000_0000
+	aesInBase        uint32 = 0
+	aesOutBase       uint32 = 0x4000_0000
+	dctInBase        uint32 = 0
+	dctOutBase       uint32 = 0x4000_0000
+	dwtInBase        uint32 = 0
+	dwtOutBase       uint32 = 0x4000_0000
+	lpsGridBytes     uint32 = 56 << 10
+	lpsOutBase       uint32 = 0x4000_0000
+	nnWeightBytes    uint32 = 8 << 10
+	nnInBase         uint32 = 0x2000_0000
+	nnOutBase        uint32 = 0x4000_0000
+)
+
+// hotspotKernel is the Rodinia thermal simulation: a 5-point stencil over
+// a chip grid that fits the baseline cache.
+var hotspotKernel = register(&Kernel{
+	Name:              "hotspot",
+	Suite:             "Rodinia",
+	Category:          Balanced,
+	Description:       "thermal simulation stencil over a 48 KB grid",
+	RegsNeeded:        22,
+	ThreadsPerCTA:     256,
+	SharedBytesPerCTA: 3072, // 12 B/thread
+	GridCTAs:          20,
+	Emit:              emitHotspot,
+})
+
+func emitHotspot(b *kgen.Builder, e *Env) {
+	// Register map (22): r0-r2 addressing, r3-r7 stencil points, r8-r9
+	// power/temperature, r10-r15 coefficients, r16-r21 temps.
+	b.ALU(0)
+	b.ALU(1, 0)
+	b.ALU(2, 1)
+	for i := 0; i < 6; i++ {
+		b.ALU(uint8(10 + i))
+	}
+	const pitch = 1024
+	tile := e.WarpBase(1024) % hotspotGridBytes
+	for px := 0; px < 12; px++ {
+		center := (tile + uint32(px)*128) % hotspotGridBytes
+		b.ALU(0, 2, 1) // advance the row pointer
+		b.ALU(1, 0)
+		b.LDG(3, 0, kgen.Coalesced(center, 4))
+		b.LDG(4, 0, kgen.Coalesced((center+pitch)%hotspotGridBytes, 4))
+		b.LDG(5, 0, kgen.Coalesced((center+hotspotGridBytes-pitch)%hotspotGridBytes, 4))
+		b.LDG(6, 0, kgen.Coalesced(center+4, 4))
+		b.LDG(7, 0, kgen.Coalesced((center+hotspotGridBytes-4)%hotspotGridBytes, 4))
+		b.LDG(8, 1, kgen.Coalesced(hotspotPower+center, 4))
+		t1 := uint8(16 + px%6)
+		co := uint8(10 + px%6)
+		b.ALU(t1, 3, 4)
+		b.ALU(uint8(16+(px+1)%6), 5, 6)
+		b.ALU(9, t1, 7)
+		b.ALU(uint8(16+(px+2)%6), 9, 8)
+		b.ALU(co, co, uint8(16+(px+2)%6))
+		b.STG(co, 2, kgen.Coalesced(hotspotOut+center, 4))
+	}
+	// Halo exchange through the small scratchpad.
+	b.STS(10, 1, kgen.CoalescedMod(uint32(e.Warp)*384, 4, 3072))
+	b.Bar()
+	b.LDS(16, 2, kgen.CoalescedMod(uint32(e.Warp)*384+128, 4, 3072))
+	b.ALU(11, 16, 10)
+}
+
+// recursiveGaussianKernel is the CUDA SDK recursive Gaussian filter:
+// a streaming IIR filter whose state lives entirely in registers.
+var recursiveGaussianKernel = register(&Kernel{
+	Name:              "recursivegaussian",
+	Suite:             "CUDA SDK",
+	Category:          Balanced,
+	Description:       "recursive (IIR) Gaussian image filter",
+	RegsNeeded:        23,
+	ThreadsPerCTA:     256,
+	SharedBytesPerCTA: 544, // 2.125 B/thread
+	GridCTAs:          20,
+	Emit:              emitRecursiveGaussian,
+})
+
+func emitRecursiveGaussian(b *kgen.Builder, e *Env) {
+	// Register map (23): r0-r2 addressing, r3 input pixel, r4-r11 IIR
+	// state taps (long lived), r12-r17 filter coefficients, r18-r22 temps.
+	b.ALU(0)
+	b.ALU(1, 0)
+	b.ALU(2, 1)
+	for i := 0; i < 8; i++ {
+		b.ALU(uint8(4 + i))
+	}
+	for i := 0; i < 6; i++ {
+		b.ALU(uint8(12 + i))
+	}
+	for row := 0; row < 16; row++ {
+		b.ALU(0, 1, 2) // advance the row pointer
+		b.ALU(2, 0)
+		b.LDG(3, 0, kgen.Coalesced(rgInBase+e.WarpBase(8192)+uint32(row)*128, 4))
+		s0 := uint8(4 + row%8)
+		s1 := uint8(4 + (row+1)%8)
+		t := uint8(18 + row%2)
+		b.ALU(t, 3, uint8(12+row%2))
+		b.ALU(s0, s0, t)
+		b.ALU(uint8(18+(row+1)%2), s0, s1)
+		b.ALU(s1, s1, uint8(18+(row+1)%2))
+		b.STG(s0, 2, kgen.Coalesced(rgOutBase+e.WarpBase(8192)+uint32(row)*128, 4))
+	}
+	// Fold the remaining coefficients and temps once at the end.
+	for i := 0; i < 4; i++ {
+		b.ALU(uint8(19+i), uint8(14+i), 4)
+	}
+	b.STS(4, 1, kgen.CoalescedMod(uint32(e.Warp)*64, 4, 544))
+	b.Bar()
+	b.LDS(18, 2, kgen.CoalescedMod(32, 4, 544))
+	b.ALU(5, 18, 4)
+}
+
+// sadKernel is the Parboil sum-of-absolute-differences motion estimation
+// kernel: reference macroblocks (32 KB) are compared against streaming
+// frame data with deep accumulator state.
+var sadKernel = register(&Kernel{
+	Name:          "sad",
+	Suite:         "Parboil",
+	Category:      Balanced,
+	Description:   "H.264 motion-estimation sum of absolute differences",
+	RegsNeeded:    31,
+	ThreadsPerCTA: 256,
+	GridCTAs:      20,
+	Emit:          emitSAD,
+})
+
+func emitSAD(b *kgen.Builder, e *Env) {
+	// Register map (31): r0-r2 addressing, r3-r4 pixels, r5-r20 SAD
+	// accumulators for 16 candidate vectors, r21-r30 temps.
+	b.ALU(0)
+	b.ALU(1, 0)
+	b.ALU(2, 1)
+	for i := 0; i < 16; i++ {
+		b.ALU(uint8(5 + i))
+	}
+	for blk := 0; blk < 12; blk++ {
+		b.ALU(0, 2, 1) // advance the block pointers
+		b.ALU(1, 0)
+		b.LDG(3, 0, kgen.Coalesced((uint32(blk)*2048+uint32(e.CTA%8)*256)%sadRefBytes, 4))
+		b.LDG(4, 1, kgen.Coalesced(sadFrameBase+e.WarpBase(4096)+uint32(blk)*256, 4))
+		// One candidate-vector group per block: the live accumulator
+		// window stays narrow, so SAD tolerates small register budgets
+		// (Table 1: 1.01 at 18 registers).
+		group := blk / 3 % 4
+		for v := 0; v < 4; v++ {
+			acc := uint8(5 + group*4 + v)
+			t := uint8(21 + v%3)
+			b.ALU(t, 3, 4)
+			b.ALU(acc, acc, t)
+		}
+	}
+	// Reduce the candidate scores (touches the cooler temp registers
+	// exactly once) and emit the best two.
+	for i := 0; i < 7; i++ {
+		b.ALU(uint8(24+i), uint8(5+i*2), uint8(6+i*2))
+	}
+	for i := 0; i < 2; i++ {
+		b.STG(uint8(24+i), 2, kgen.Coalesced(sadOutBase+e.WarpBase(512)+uint32(i)*128, 4))
+	}
+}
+
+// scalarprodKernel is the CUDA SDK scalar-product reduction: streaming
+// loads, multiply-accumulate, and a shared-memory tree reduction.
+var scalarprodKernel = register(&Kernel{
+	Name:              "scalarprod",
+	Suite:             "CUDA SDK",
+	Category:          Balanced,
+	Description:       "batched dot products with shared-memory reduction",
+	RegsNeeded:        18,
+	ThreadsPerCTA:     256,
+	SharedBytesPerCTA: 4096, // 16 B/thread
+	GridCTAs:          24,
+	Emit:              emitScalarProd,
+})
+
+func emitScalarProd(b *kgen.Builder, e *Env) {
+	// Register map (18): r0-r2 addressing, r3-r4 inputs, r5-r8 partial
+	// sums, r9-r17 reduction temps.
+	b.ALU(0)
+	b.ALU(1, 0)
+	b.ALU(2, 1)
+	for i := 0; i < 4; i++ {
+		b.ALU(uint8(5 + i))
+	}
+	for i := 0; i < 16; i++ {
+		off := e.WarpBase(8192) + uint32(i)*128
+		b.ALU(0, 2, 1) // advance the element pointers
+		b.ALU(1, 0)
+		b.LDG(3, 0, kgen.Coalesced(spInBaseA+off, 4))
+		b.LDG(4, 1, kgen.Coalesced(spInBaseB+off, 4))
+		t := uint8(9 + i%9)
+		b.ALU(t, 3, 4)
+		b.ALU(uint8(5+i%4), uint8(5+i%4), t)
+	}
+	// Tree reduction in the scratchpad.
+	warpShm := uint32(e.Warp) * 512
+	b.STS(5, 2, kgen.CoalescedMod(warpShm, 4, 4096))
+	b.Bar()
+	for s := 0; s < 3; s++ {
+		b.LDS(9, 2, kgen.CoalescedMod(warpShm+uint32(64>>s), 4, 4096))
+		b.ALU(6, 6, 9)
+		b.STS(6, 2, kgen.CoalescedMod(warpShm, 4, 4096))
+		b.Bar()
+	}
+	b.STG(6, 2, kgen.Coalesced(spOutBase+e.WarpBase(128), 4))
+}
+
+// sgemvKernel is MAGMA's single-precision matrix-vector multiply: matrix
+// rows stream once, the 16 KB x-vector is endlessly reused.
+var sgemvKernel = register(&Kernel{
+	Name:              "sgemv",
+	Suite:             "MAGMA",
+	Category:          Balanced,
+	Description:       "dense matrix-vector multiply (vector reuse)",
+	RegsNeeded:        14,
+	ThreadsPerCTA:     256,
+	SharedBytesPerCTA: 1024, // 4 B/thread
+	GridCTAs:          24,
+	Emit:              emitSGEMV,
+})
+
+func emitSGEMV(b *kgen.Builder, e *Env) {
+	// Register map (14): r0-r2 addressing, r3 matrix element, r4 vector
+	// element, r5-r8 partial sums, r9-r13 temps.
+	b.ALU(0)
+	b.ALU(1, 0)
+	b.ALU(2, 1)
+	for i := 0; i < 4; i++ {
+		b.ALU(uint8(5 + i))
+	}
+	for k := 0; k < 20; k++ {
+		b.ALU(0, 2, 1) // advance the row and vector pointers
+		b.ALU(1, 0)
+		b.LDG(3, 0, kgen.Coalesced(sgemvMatBase+e.WarpBase(16384)+uint32(k)*512, 4))
+		b.LDG(4, 1, kgen.Coalesced(sgemvVecBase+(uint32(k)*768)%sgemvVecBytes, 4))
+		t := uint8(9 + k%5)
+		b.ALU(t, 3, 4)
+		b.ALU(uint8(5+k%4), uint8(5+k%4), t)
+	}
+	b.STS(5, 2, kgen.CoalescedMod(uint32(e.Warp)*128, 4, 1024))
+	b.Bar()
+	b.LDS(9, 2, kgen.CoalescedMod(uint32(e.Warp)*128+32, 4, 1024))
+	b.ALU(6, 9, 5)
+	b.STG(6, 2, kgen.Coalesced(sgemvOutBase+e.WarpBase(128), 4))
+}
+
+// sobolqrngKernel is the CUDA SDK Sobol quasi-random generator: tiny
+// direction-vector tables and a long XOR chain, then streaming stores.
+var sobolqrngKernel = register(&Kernel{
+	Name:              "sobolqrng",
+	Suite:             "CUDA SDK",
+	Category:          Balanced,
+	Description:       "Sobol quasi-random number generation",
+	RegsNeeded:        12,
+	ThreadsPerCTA:     256,
+	SharedBytesPerCTA: 512, // 2 B/thread
+	GridCTAs:          24,
+	Emit:              emitSobol,
+})
+
+func emitSobol(b *kgen.Builder, e *Env) {
+	// Register map (12): r0-r1 addressing, r2 direction vector, r3-r6
+	// generator state, r7-r11 temps.
+	b.ALU(0)
+	b.ALU(1, 0)
+	for i := 0; i < 4; i++ {
+		b.ALU(uint8(3 + i))
+	}
+	b.STS(3, 1, kgen.CoalescedMod(uint32(e.Warp)*64, 4, 512))
+	b.Bar()
+	for n := 0; n < 18; n++ {
+		b.ALU(0, 1) // advance the direction-vector pointer
+		b.ALU(1, 0)
+		b.LDG(2, 0, kgen.Coalesced((uint32(n)*224)%sobolDirBytes, 4))
+		s := uint8(3 + n%4)
+		t := uint8(7 + n%5)
+		b.ALU(t, 2, s)
+		b.ALU(s, s, t)
+		b.STG(s, 1, kgen.Coalesced(sobolOutBase+e.WarpBase(4096)+uint32(n)*128, 4))
+	}
+	b.LDS(7, 1, kgen.CoalescedMod(uint32(e.Warp)*64, 4, 512))
+	b.ALU(4, 7, 3)
+}
+
+// aesKernel is AES encryption (GPGPU-Sim suite): T-box lookup tables live
+// in shared memory; blocks stream through ten rounds of table lookups and
+// XORs.
+var aesKernel = register(&Kernel{
+	Name:              "aes",
+	Suite:             "GPGPU-Sim",
+	Category:          Balanced,
+	Description:       "AES block encryption with shared-memory T-boxes",
+	RegsNeeded:        28,
+	ThreadsPerCTA:     256,
+	SharedBytesPerCTA: 6144, // 24 B/thread
+	GridCTAs:          20,
+	Emit:              emitAES,
+})
+
+func emitAES(b *kgen.Builder, e *Env) {
+	// Register map (28): r0-r2 addressing, r3-r6 block state columns,
+	// r7-r10 T-box values, r11-r22 round keys (long lived), r23-r27 temps.
+	b.ALU(0)
+	b.ALU(1, 0)
+	b.ALU(2, 1)
+	for i := 0; i < 12; i++ {
+		b.ALU(uint8(11 + i))
+	}
+	// Stage the T-boxes once per CTA.
+	for i := 0; i < 4; i++ {
+		b.LDG(7, 0, kgen.Coalesced((uint32(i)*1024)%4096, 4))
+		b.STS(7, 1, kgen.CoalescedMod(uint32(i)*1024, 4, 6144))
+	}
+	b.Bar()
+	b.LDG(3, 0, kgen.Coalesced(aesInBase+e.WarpBase(2048), 4))
+	b.LDG(4, 0, kgen.Coalesced(aesInBase+e.WarpBase(2048)+128, 4))
+	for round := 0; round < 10; round++ {
+		// T-box lookups are data dependent: scattered within the tables.
+		b.ALU(1, 3, 4) // the lookup index comes from the block state
+		for c := 0; c < 4; c++ {
+			b.LDS(uint8(7+c), 1, kgen.Random(e.Rng, 0, 4096, 4))
+		}
+		t := uint8(23 + round%5)
+		b.ALU(t, 7, 8)
+		b.ALU(uint8(23+(round+1)%5), 9, 10)
+		// Round keys are expanded on the fly, so several stay live.
+		k0 := uint8(11 + round%12)
+		k1 := uint8(11 + (round+4)%12)
+		k2 := uint8(11 + (round+8)%12)
+		b.ALU(k0, k0, k1)
+		b.ALU(3, t, k0)
+		b.ALU(4, uint8(23+(round+1)%5), k1)
+		b.ALU(k2, k2, k0)
+		b.ALU(5, 3, 4)
+		b.ALU(6, 5, t)
+		b.ALU(k1, k2, 6)
+	}
+	b.STG(5, 2, kgen.Coalesced(aesOutBase+e.WarpBase(2048), 4))
+	b.STG(6, 2, kgen.Coalesced(aesOutBase+e.WarpBase(2048)+128, 4))
+}
+
+// dct8x8Kernel is the CUDA SDK 8x8 discrete cosine transform: blocks
+// stream through a register-resident butterfly network.
+var dct8x8Kernel = register(&Kernel{
+	Name:          "dct8x8",
+	Suite:         "CUDA SDK",
+	Category:      Balanced,
+	Description:   "8x8 block discrete cosine transform",
+	RegsNeeded:    26,
+	ThreadsPerCTA: 256,
+	GridCTAs:      20,
+	Emit:          emitDCT,
+})
+
+func emitDCT(b *kgen.Builder, e *Env) {
+	// Register map (26): r0-r1 addressing, r2-r9 the 8 block rows,
+	// r10-r17 butterfly outputs, r18-r25 temps.
+	b.ALU(0)
+	b.ALU(1, 0)
+	for blk := 0; blk < 6; blk++ {
+		base := e.WarpBase(8192) + uint32(blk)*1024
+		b.ALU(0, 1) // advance the block pointer
+		b.ALU(1, 0)
+		for r := 0; r < 8; r++ {
+			b.LDG(uint8(2+r), 0, kgen.Coalesced(dctInBase+base+uint32(r)*128, 4))
+		}
+		for stage := 0; stage < 8; stage++ {
+			o := uint8(10 + stage)
+			t := uint8(18 + stage)
+			b.ALU(t, uint8(2+stage), uint8(2+(stage+1)%8))
+			b.ALU(o, t, uint8(2+(stage+4)%8))
+		}
+		for r := 0; r < 4; r++ {
+			b.STG(uint8(10+r), 1, kgen.Coalesced(dctOutBase+base+uint32(r)*128, 4))
+		}
+	}
+}
+
+// dwthaar1dKernel is the AMD/CUDA SDK 1D Haar wavelet: one butterfly level
+// per pass with a scratchpad shuffle between levels.
+var dwthaar1dKernel = register(&Kernel{
+	Name:              "dwthaar1d",
+	Suite:             "CUDA SDK",
+	Category:          Balanced,
+	Description:       "1D Haar discrete wavelet transform",
+	RegsNeeded:        14,
+	ThreadsPerCTA:     256,
+	SharedBytesPerCTA: 2048, // 8 B/thread
+	GridCTAs:          24,
+	Emit:              emitDWT,
+})
+
+func emitDWT(b *kgen.Builder, e *Env) {
+	// Register map (14): r0-r1 addressing, r2-r3 sample pair, r4-r5
+	// average/detail, r6-r13 level state and temps.
+	b.ALU(0)
+	b.ALU(1, 0)
+	warpShm := uint32(e.Warp) * 256
+	for lv := 0; lv < 8; lv++ {
+		b.ALU(0, 1) // advance the level pointer
+		b.ALU(1, 0)
+		b.LDG(2, 0, kgen.Coalesced(dwtInBase+e.WarpBase(4096)+uint32(lv)*256, 8))
+		b.LDG(3, 0, kgen.Coalesced(dwtInBase+e.WarpBase(4096)+uint32(lv)*256+4, 8))
+		b.ALU(4, 2, 3)
+		b.ALU(5, 2, 3)
+		s := uint8(6 + lv)
+		b.ALU(s, 4, 5)
+		b.STS(4, 1, kgen.CoalescedMod(warpShm+uint32(lv)*16, 4, 2048))
+		b.Bar()
+		b.LDS(5, 1, kgen.CoalescedMod(warpShm+uint32(lv)*16+64, 4, 2048))
+		b.STG(s, 1, kgen.Coalesced(dwtOutBase+e.WarpBase(4096)+uint32(lv)*128, 4))
+	}
+}
+
+// lpsKernel is the 3D Laplace solver (GPGPU-Sim suite): a shared-memory
+// tiled stencil over a grid that fits the baseline cache.
+var lpsKernel = register(&Kernel{
+	Name:              "lps",
+	Suite:             "GPGPU-Sim",
+	Category:          Balanced,
+	Description:       "3D Laplace PDE solver with shared-memory tiles",
+	RegsNeeded:        15,
+	ThreadsPerCTA:     256,
+	SharedBytesPerCTA: 4864, // 19 B/thread
+	GridCTAs:          20,
+	Emit:              emitLPS,
+})
+
+func emitLPS(b *kgen.Builder, e *Env) {
+	// Register map (15): r0-r2 addressing, r3-r8 stencil neighbours,
+	// r9 result, r10-r14 temps.
+	b.ALU(0)
+	b.ALU(1, 0)
+	b.ALU(2, 1)
+	const pitch = 2048
+	warpShm := uint32(e.Warp) * 608
+	for z := 0; z < 8; z++ {
+		plane := (e.WarpBase(1024) + uint32(z)*4096) % lpsGridBytes
+		b.ALU(0, 2, 1) // advance the plane pointer
+		b.ALU(1, 0)
+		b.ALU(2, 1)
+		b.LDG(3, 0, kgen.Coalesced(plane, 4))
+		b.LDG(4, 0, kgen.Coalesced((plane+pitch)%lpsGridBytes, 4))
+		b.LDG(5, 0, kgen.Coalesced((plane+lpsGridBytes-pitch)%lpsGridBytes, 4))
+		b.ALU(10, 3, 4) // normalize before staging (stores read the LRF)
+		b.STS(10, 1, kgen.CoalescedMod(warpShm, 4, 4864))
+		b.Bar()
+		b.LDS(6, 2, kgen.CoalescedMod(warpShm+4, 4, 4864))
+		b.LDS(7, 2, kgen.CoalescedMod((warpShm+4864-4)%4864, 4, 4864))
+		b.LDS(8, 2, kgen.CoalescedMod(warpShm+128, 4, 4864))
+		t := uint8(10 + z%5)
+		b.ALU(t, 3, 4)
+		b.ALU(uint8(10+(z+1)%5), 5, 6)
+		b.ALU(9, t, 7)
+		b.ALU(uint8(10+(z+2)%5), 9, 8)
+		b.STG(9, 2, kgen.Coalesced(lpsOutBase+plane, 4))
+		b.Bar()
+	}
+}
+
+// nnKernel is a small neural-network inference kernel (GPGPU-Sim suite):
+// an 8 KB weight matrix re-read for every input — the extreme reuse that
+// makes its uncached DRAM traffic 20.8x (Table 1).
+var nnKernel = register(&Kernel{
+	Name:          "nn",
+	Suite:         "GPGPU-Sim",
+	Category:      Balanced,
+	Description:   "neural-network inference over a tiny weight matrix",
+	RegsNeeded:    13,
+	ThreadsPerCTA: 256,
+	GridCTAs:      24,
+	Emit:          emitNN,
+})
+
+func emitNN(b *kgen.Builder, e *Env) {
+	// Register map (13): r0-r1 addressing, r2 input, r3 weight, r4-r7
+	// neuron accumulators, r8-r12 temps.
+	b.ALU(0)
+	b.ALU(1, 0)
+	for i := 0; i < 4; i++ {
+		b.ALU(uint8(4 + i))
+	}
+	for n := 0; n < 24; n++ {
+		b.ALU(0, 1) // advance the input pointer
+		b.ALU(1, 0)
+		b.LDG(2, 0, kgen.Coalesced(nnInBase+e.WarpBase(4096)+uint32(n)*128, 4))
+		// Weight fetches sweep the tiny matrix over and over.
+		b.LDG(3, 1, kgen.Coalesced((uint32(n)*352)%nnWeightBytes, 4))
+		t := uint8(8 + n%5)
+		b.ALU(t, 2, 3)
+		b.ALU(uint8(4+n%4), uint8(4+n%4), t)
+	}
+	b.SFU(8, 4) // activation
+	b.STG(8, 1, kgen.Coalesced(nnOutBase+e.WarpBase(128), 4))
+}

@@ -1,0 +1,411 @@
+package workloads
+
+import (
+	"repro/internal/isa"
+	"repro/internal/kgen"
+)
+
+// Working-set sizes chosen to reproduce the Table 1 DRAM columns: sets
+// below 64 KB are fully captured by the baseline cache (DRAM ratio 1 at
+// 64 KB), sets between 64 KB and 256 KB keep improving with the larger
+// caches the unified design affords.
+const (
+	mummerTreeBytes  uint32 = 32 << 10 // hot suffix-tree levels: fit 64 KB
+	mummerQueryBase  uint32 = 0x2000_0000
+	mummerMidBase    uint32 = 0x2800_0000
+	mummerMidBytes   uint32 = 128 << 10 // mid-tree levels
+	mummerColdBase   uint32 = 0x6000_0000
+	mummerColdBytes  uint32 = 2 << 20  // deep suffix links
+	bfsHotBytes      uint32 = 28 << 10 // frontier-adjacent nodes
+	bfsStreamBase    uint32 = 0x5000_0000
+	bfsMidBase       uint32 = 0x2000_0000
+	bfsMidBytes      uint32 = 176 << 10 // wider neighbourhood
+	bfsColdBase      uint32 = 0x6000_0000
+	bfsColdBytes     uint32 = 12 << 20 // far graph regions
+	bfsVisitedBase   uint32 = 0x4000_0000
+	backpropWeights  uint32 = 28 << 10
+	backpropInBase   uint32 = 0x2000_0000
+	matmulBBytes     uint32 = 48 << 10 // B matrix, reused across CTAs
+	matmulABase      uint32 = 0x2000_0000
+	matmulOutBase    uint32 = 0x4000_0000
+	nbodyBodiesBytes uint32 = 24 << 10
+	nbodyOutBase     uint32 = 0x4000_0000
+	vecAddABase      uint32 = 0
+	vecAddBBase      uint32 = 0x2000_0000
+	vecAddOutBase    uint32 = 0x4000_0000
+	sradImageBytes   uint32 = 160 << 10
+	sradOutBase      uint32 = 0x4000_0000
+)
+
+// mummerKernel is GPU-MUMmer (Rodinia): parallel suffix-tree traversal for
+// DNA alignment. Each thread walks the shared reference tree with
+// data-dependent, divergent gathers; the tree working set fits the 64 KB
+// baseline cache for the scaled input (the paper notes its set was small
+// for their datasets too).
+var mummerKernel = register(&Kernel{
+	Name:          "mummer",
+	Suite:         "Rodinia",
+	Category:      CacheLimited,
+	Description:   "GPU-MUMmer suffix-tree DNA alignment (divergent tree walk)",
+	RegsNeeded:    21,
+	ThreadsPerCTA: 256,
+	GridCTAs:      24,
+	Emit:          emitMummer,
+})
+
+func emitMummer(b *kgen.Builder, e *Env) {
+	// Register map (21): r0-r2 addressing, r3 query buffer, r4-r5 node
+	// fields, r6-r11 match state (long lived), r12-r20 compare temps.
+	b.ALU(0)
+	b.ALU(1, 0)
+	b.ALU(2, 1)
+	for i := 0; i < 6; i++ {
+		b.ALU(uint8(6 + i))
+	}
+	// Nearly all node visits stay in the hot upper tree; a small tail of
+	// deep suffix links walks cold storage (the paper notes the working
+	// set was small for its inputs).
+	tiers := []tier{
+		{0, mummerTreeBytes, 93},
+		{mummerMidBase, mummerMidBytes, 4},
+		{mummerColdBase, mummerColdBytes, 4},
+	}
+	queries := 6
+	steps := 12
+	for q := 0; q < queries; q++ {
+		// Stream the query string (coalesced); every lane restarts with
+		// a fresh query.
+		b.SetMask(isa.FullMask)
+		b.LDG(3, 0, kgen.Coalesced(mummerQueryBase+e.WarpBase(8192)+uint32(q)*128, 4))
+		for s := 0; s < steps; s++ {
+			// SIMT divergence: lanes whose queries mismatch drop out of
+			// the traversal as it deepens.
+			if s > 4 && s%3 == 0 {
+				mask := b.Mask() & ^(uint32(3) << uint(2*(s%13)))
+				if mask != 0 {
+					b.SetMask(mask)
+				}
+			}
+			// Chase the child pointer: the node address is recomputed
+			// from the fetched node each step, so it reads from the
+			// LRF/ORF rather than the MRF (the hierarchy the unified
+			// design depends on for low arbitration rates).
+			b.ALU(1, 4, 3)
+			// Sibling threads follow nearby tree nodes: pairs of lanes
+			// share a node line.
+			reg := pickTier(e, tiers)
+			b.LDG(4, 1, kgen.ClusteredRandom(e.Rng, reg.base, reg.size, 2))
+			t := uint8(12 + (q*steps+s)%9)
+			// Base-pair comparison and match-length bookkeeping.
+			b.ALU(t, 4, 3)
+			b.ALU(5, t, uint8(6+s%6))
+			b.ALU(uint8(6+s%6), 5, t)
+			b.ALU(t, 5, uint8(6+(s+2)%6))
+			b.ALU(5, t, 4)
+			b.ALU(uint8(6+(s+3)%6), 5, t)
+			b.ALU(t, uint8(6+(s+3)%6), 5)
+		}
+	}
+	// Write match results.
+	b.STG(6, 2, kgen.Coalesced(0x4000_0000+e.WarpBase(256), 4))
+	b.STG(7, 2, kgen.Coalesced(0x4000_0000+e.WarpBase(256)+128, 4))
+}
+
+// bfsKernel is breadth-first search (Rodinia) over a million-node graph
+// (scaled): frontier nodes stream in, neighbour and visited lookups gather
+// randomly across node and edge arrays whose combined footprint (~208 KB)
+// exceeds the baseline cache but fits the unified design's larger cache.
+var bfsKernel = register(&Kernel{
+	Name:          "bfs",
+	Suite:         "Rodinia",
+	Category:      CacheLimited,
+	Description:   "breadth-first graph search (irregular gathers)",
+	RegsNeeded:    9,
+	ThreadsPerCTA: 256,
+	GridCTAs:      32,
+	Emit:          emitBFS,
+})
+
+func emitBFS(b *kgen.Builder, e *Env) {
+	// Register map (9): r0 frontier index, r1 node record, r2 edge,
+	// r3 visited flag, r4 new cost, r5-r8 loop bookkeeping.
+	b.ALU(0)
+	b.ALU(5, 0)
+	b.ALU(6, 5)
+	// Frontier expansion has strong locality — most neighbours sit in the
+	// frontier-adjacent hot region — with tails into a mid region only a
+	// large cache holds and a cold tail no cache holds.
+	tiers := []tier{
+		{0, bfsHotBytes, 74},
+		{bfsMidBase, bfsMidBytes, 2},
+		{bfsColdBase, bfsColdBytes, 24},
+	}
+	for n := 0; n < 8; n++ {
+		// Frontier node records stream coalesced.
+		b.ALU(0, 5, 6) // advance the frontier pointer
+		b.LDG(1, 0, kgen.Coalesced(bfsStreamBase+e.WarpBase(4096)+uint32(n)*128, 4))
+		b.ALU(7, 1, 5)
+		for deg := 0; deg < 3; deg++ {
+			reg := pickTier(e, tiers)
+			// Neighbour lists are contiguous: ~3 lanes share a line.
+			b.LDG(2, 7, kgen.ClusteredRandom(e.Rng, reg.base, reg.size, 3))
+			reg = pickTier(e, tiers)
+			b.LDG(3, 2, kgen.ClusteredRandom(e.Rng, reg.base, reg.size, 3))
+			// Cost comparison and atomically-emulated min: several
+			// dependent integer ops per edge.
+			b.ALU(4, 3, 1)
+			b.ALU(8, 4, 6)
+			b.ALU(4, 8, 3)
+			b.ALU(6, 4, 8)
+			b.ALU(8, 6, 1)
+			b.ALU(4, 8, 4)
+		}
+		// Update the cost of one discovered neighbour per thread.
+		b.STG(4, 8, kgen.ClusteredRandom(e.Rng, bfsVisitedBase, bfsHotBytes, 3))
+	}
+}
+
+// backpropKernel is the Rodinia neural-network training kernel: the weight
+// matrix (~48 KB) is re-read by every CTA, so a 64 KB cache removes nearly
+// all its DRAM traffic (Table 1: 1.56 / 1.0 / 1.0).
+var backpropKernel = register(&Kernel{
+	Name:              "backprop",
+	Suite:             "Rodinia",
+	Category:          CacheLimited,
+	Description:       "neural network back-propagation (weight-matrix reuse)",
+	RegsNeeded:        17,
+	ThreadsPerCTA:     256,
+	SharedBytesPerCTA: 544, // 2.125 B/thread (Table 1)
+	GridCTAs:          28,
+	Emit:              emitBackprop,
+})
+
+func emitBackprop(b *kgen.Builder, e *Env) {
+	// Register map (17): r0-r2 addressing, r3 input, r4 weight, r5-r10
+	// partial sums, r11-r16 temps.
+	b.ALU(0)
+	b.ALU(1, 0)
+	b.ALU(2, 1)
+	for i := 0; i < 6; i++ {
+		b.ALU(uint8(5 + i))
+	}
+	for unit := 0; unit < 16; unit++ {
+		b.ALU(0, 2, 1) // advance the unit pointers
+		b.ALU(1, 0)
+		b.ALU(2, 1)
+		b.LDG(3, 0, kgen.Coalesced(backpropInBase+e.WarpBase(2176)+uint32(unit)*128, 4))
+		for k := 0; k < 3; k++ {
+			// The active weight rows form a small window that any cache
+			// keeps resident; the full matrix is swept across phases.
+			b.LDG(4, 1, kgen.Coalesced((uint32((unit%4)*3+k)*2432)%backpropWeights, 4))
+			acc := uint8(5 + (unit+k)%6)
+			t := uint8(11 + (unit*3+k)%6)
+			b.ALU(t, 3, 4)
+			b.ALU(acc, acc, t)
+		}
+	}
+	// Small shared reduction then output.
+	b.STS(5, 2, kgen.CoalescedMod(uint32(e.Warp)*64, 4, 544))
+	b.Bar()
+	b.LDS(11, 2, kgen.CoalescedMod(0, 4, 544))
+	b.ALU(6, 11, 5)
+	b.STG(6, 2, kgen.Coalesced(0x4000_0000+e.WarpBase(128), 4))
+}
+
+// matrixmulKernel is the CUDA SDK tiled matrix multiply: A streams, the
+// B matrix (48 KB) is reused by every CTA. Without a cache its DRAM
+// traffic explodes (Table 1: 4.77x), with 64 KB it is fully captured.
+var matrixmulKernel = register(&Kernel{
+	Name:              "matrixmul",
+	Suite:             "CUDA SDK",
+	Category:          CacheLimited,
+	Description:       "tiled dense matrix multiply (B-matrix reuse)",
+	RegsNeeded:        17,
+	ThreadsPerCTA:     256,
+	SharedBytesPerCTA: 2048, // 8 B/thread
+	GridCTAs:          28,
+	Emit:              emitMatrixMul,
+})
+
+func emitMatrixMul(b *kgen.Builder, e *Env) {
+	// Register map (17): r0-r2 addressing, r3 a, r4 b, r5-r12 accumulators,
+	// r13-r16 temps.
+	b.ALU(0)
+	b.ALU(1, 0)
+	b.ALU(2, 1)
+	for i := 0; i < 8; i++ {
+		b.ALU(uint8(5 + i))
+	}
+	warpShm := uint32(e.Warp) * 256
+	for kt := 0; kt < 16; kt++ {
+		b.ALU(0, 2, 1) // advance the tile pointers
+		b.ALU(1, 0)
+		b.ALU(2, 1)
+		b.LDG(3, 0, kgen.Coalesced(matmulABase+e.WarpBase(8192)+uint32(kt)*512, 4))
+		b.LDG(4, 1, kgen.Coalesced((uint32(kt)*3072+uint32(e.CTA%4)*96)%matmulBBytes, 4))
+		b.STS(3, 2, kgen.CoalescedMod(warpShm, 4, 2048))
+		b.Bar()
+		for i := 0; i < 2; i++ {
+			t := uint8(13 + (kt+i)%4)
+			acc := uint8(5 + (kt*2+i)%8)
+			b.LDS(t, 2, kgen.CoalescedMod(warpShm+uint32(i)*128, 4, 2048))
+			b.ALU(acc, acc, t)
+			b.ALU(acc, acc, 4)
+		}
+		b.Bar()
+	}
+	for i := 0; i < 4; i++ {
+		b.STG(uint8(5+i), 2, kgen.Coalesced(matmulOutBase+e.WarpBase(1024)+uint32(i)*128, 4))
+	}
+}
+
+// nbodyKernel is the CUDA SDK n-body simulation: all threads sweep the
+// same body array (24 KB) with broadcast loads — extreme reuse that a
+// cache of any size captures but that costs 3.5x DRAM uncached.
+var nbodyKernel = register(&Kernel{
+	Name:          "nbody",
+	Suite:         "CUDA SDK",
+	Category:      CacheLimited,
+	Description:   "n-body gravitational simulation (broadcast body reuse)",
+	RegsNeeded:    23,
+	ThreadsPerCTA: 256,
+	GridCTAs:      24,
+	Emit:          emitNbody,
+})
+
+func emitNbody(b *kgen.Builder, e *Env) {
+	// Register map (23): r0-r2 addressing, r3-r5 body j position,
+	// r6-r11 acceleration accumulators, r12-r17 distance temps,
+	// r18-r22 own position/velocity.
+	b.ALU(0)
+	b.ALU(1, 0)
+	b.ALU(2, 1)
+	for i := 0; i < 6; i++ {
+		b.ALU(uint8(6 + i))
+	}
+	// Each thread loads its own body's position and velocity (streaming,
+	// one-time) before sweeping all bodies.
+	for i := 0; i < 5; i++ {
+		b.LDG(uint8(18+i), 1, kgen.Coalesced(0x5000_0000+e.WarpBase(1024)+uint32(i)*128, 4))
+	}
+	for j := 0; j < 48; j++ {
+		addr := (uint32(j) * 512) % nbodyBodiesBytes
+		b.ALU(0, 21) // advance the body pointer
+		b.LDG(3, 0, kgen.Broadcast(addr))
+		b.LDG(4, 0, kgen.Broadcast(addr+128))
+		b.LDG(5, 0, kgen.Broadcast(addr+256))
+		t1 := uint8(12 + j%6)
+		b.ALU(t1, 3, 18)
+		b.ALU(uint8(12+(j+1)%6), 4, 19)
+		b.ALU(uint8(12+(j+2)%6), 5, 20)
+		if j%4 == 0 {
+			b.SFU(uint8(12+(j+3)%6), t1) // rsqrt
+		}
+		b.ALU(uint8(6+j%6), uint8(6+j%6), t1)
+		b.ALU(uint8(6+(j+1)%6), uint8(6+(j+1)%6), uint8(12+(j+3)%6))
+	}
+	for i := 0; i < 3; i++ {
+		b.STG(uint8(6+i), 2, kgen.Coalesced(nbodyOutBase+e.WarpBase(512)+uint32(i)*128, 4))
+	}
+}
+
+// vectoraddKernel is the CUDA SDK quickstart kernel: pure streaming with
+// no reuse. Its cached DRAM traffic is compulsory; uncached per-thread
+// transactions inflate it ~4x (Table 1: 3.88 / 1.0 / 1.0).
+var vectoraddKernel = register(&Kernel{
+	Name:          "vectoradd",
+	Suite:         "CUDA SDK",
+	Category:      CacheLimited,
+	Description:   "elementwise vector addition (pure streaming)",
+	RegsNeeded:    9,
+	ThreadsPerCTA: 256,
+	GridCTAs:      32,
+	Emit:          emitVectorAdd,
+})
+
+func emitVectorAdd(b *kgen.Builder, e *Env) {
+	// Register map (9): r0-r2 addressing, r3 a, r4 b, r5 sum, r6-r8 index
+	// arithmetic.
+	b.ALU(0)
+	b.ALU(1, 0)
+	b.ALU(2, 1)
+	b.ALU(6, 0)
+	for i := 0; i < 20; i++ {
+		off := e.WarpBase(4096) + uint32(i)*128
+		b.ALU(0, 6) // advance the element pointers
+		b.ALU(1, 0)
+		b.ALU(2, 1)
+		b.LDG(3, 0, kgen.Coalesced(vecAddABase+off, 4))
+		b.LDG(4, 1, kgen.Coalesced(vecAddBBase+off, 4))
+		b.ALU(5, 3, 4)
+		b.ALU(7, 6, 5)
+		b.ALU(8, 7, 6)
+		b.STG(5, 2, kgen.Coalesced(vecAddOutBase+off, 4))
+	}
+}
+
+// sradKernel is the Rodinia speckle-reducing anisotropic diffusion stencil.
+// Each CTA makes two passes over its image tile; tiles plus halo rows give
+// a working set around 160 KB: partially cached at 64 KB, fully at 256 KB
+// (Table 1: 1.22 / 1.20 / 1.0).
+var sradKernel = register(&Kernel{
+	Name:              "srad",
+	Suite:             "Rodinia",
+	Category:          CacheLimited,
+	Description:       "speckle-reducing anisotropic diffusion (5-point stencil, two passes)",
+	RegsNeeded:        18,
+	ThreadsPerCTA:     256,
+	SharedBytesPerCTA: 6144, // 24 B/thread
+	GridCTAs:          24,
+	Emit:              emitSRAD,
+})
+
+func emitSRAD(b *kgen.Builder, e *Env) {
+	// Register map (18): r0-r2 addressing, r3-r7 stencil points,
+	// r8-r12 PDE coefficients, r13-r17 temps.
+	b.ALU(0)
+	b.ALU(1, 0)
+	b.ALU(2, 1)
+	const rowPitch = 2048 // bytes per image row
+	tile := e.WarpBase(2048) % sradImageBytes
+	for pass := 0; pass < 2; pass++ {
+		for px := 0; px < 10; px++ {
+			center := (tile + uint32(px)*128) % sradImageBytes
+			b.ALU(0, 2, 1) // advance the pixel pointers
+			b.ALU(1, 0)
+			b.ALU(2, 1)
+			b.LDG(3, 0, kgen.Coalesced(center, 4))
+			b.LDG(4, 0, kgen.Coalesced((center+rowPitch)%sradImageBytes, 4))
+			b.LDG(5, 0, kgen.Coalesced((center+sradImageBytes-rowPitch)%sradImageBytes, 4))
+			b.LDG(6, 0, kgen.Coalesced(center+4, 4))
+			b.LDG(7, 0, kgen.Coalesced((center+sradImageBytes-4)%sradImageBytes, 4))
+			// The diffusion-coefficient arithmetic: gradients, Laplacian,
+			// q0 statistics, and the divergence update — SRAD is
+			// arithmetic heavy (~30 ops per pixel in Rodinia).
+			t1 := uint8(13 + px%5)
+			c1 := uint8(8 + px%5)
+			b.ALU(t1, 3, 4)
+			b.ALU(uint8(13+(px+1)%5), 5, 6)
+			b.ALU(c1, t1, 7)
+			b.ALU(uint8(8+(px+1)%5), c1, t1)
+			if px%3 == 0 {
+				b.SFU(uint8(13+(px+2)%5), c1)
+			}
+			b.ALU(uint8(13+(px+3)%5), c1, uint8(8+(px+2)%5))
+			for op := 0; op < 12; op++ {
+				a := uint8(13 + (px+op)%5)
+				z := uint8(8 + (px+op)%5)
+				b.ALU(a, z, uint8(13+(px+op+2)%5))
+				b.ALU(z, a, uint8(8+(px+op+3)%5))
+			}
+			if pass == 1 {
+				b.STG(c1, 2, kgen.Coalesced(sradOutBase+center, 4))
+			}
+		}
+		// Stage coefficients through shared memory between passes.
+		b.STS(8, 1, kgen.CoalescedMod(uint32(e.Warp)*768, 4, 6144))
+		b.Bar()
+		b.LDS(13, 1, kgen.CoalescedMod(uint32(e.Warp)*768+256, 4, 6144))
+		b.ALU(9, 13, 8)
+	}
+}

@@ -1,0 +1,40 @@
+// This file documents the benchmark catalog; the registry itself is built
+// by the per-category definition files.
+//
+// The 26 kernels and their Table 1 characteristics:
+//
+//	name               suite        regs  shm B/thr  behaviour
+//	-----------------  -----------  ----  ---------  -------------------------------------------
+//	needle             Rodinia        18      ~280   DP wavefront in scratchpad tiles (BF 16/32/64)
+//	sto                GPGPU-Sim      33       127   scratchpad-resident sliding-window hashing
+//	lu                 Rodinia        20        96   tiled elimination, cacheable pivot panel
+//	mummer             Rodinia        21         0   divergent suffix-tree walk (masked lanes)
+//	bfs                Rodinia         9         0   frontier expansion, tiered irregular gathers
+//	backprop           Rodinia        17         2   weight-window reuse + input streams
+//	matrixmul          CUDA SDK       17         8   tiled matmul, B-matrix cache reuse
+//	nbody              CUDA SDK       23         0   broadcast body sweep, extreme line reuse
+//	vectoradd          CUDA SDK        9         0   pure streaming (coalescing-loss showcase)
+//	srad               Rodinia        18        24   two-pass 5-point stencil, 160 KB set
+//	dgemm              MAGMA          57        66   4x4 register blocking + scratchpad tiles
+//	pcr                Zhang'10       33        20   cyclic reduction, 176 KB coefficient reuse
+//	bicubic            CUDA SDK       33         0   texture taps, cache-insensitive
+//	hwt                GPGPU-Sim      35        23   register-resident wavelet pyramid
+//	ray                GPGPU-Sim      42         0   divergent BVH walk, deep ray state
+//	hotspot            Rodinia        22        12   stencil over a 24 KB grid
+//	recursivegaussian  CUDA SDK       23         2   register-resident IIR filter
+//	sad                Parboil        31         0   motion estimation, grouped accumulators
+//	scalarprod         CUDA SDK       18        16   dot products + scratchpad reduction
+//	sgemv              MAGMA          14         4   row streams, 16 KB vector reuse
+//	sobolqrng          CUDA SDK       12         2   QRNG, 4 KB direction tables
+//	aes                GPGPU-Sim      28        24   scratchpad T-box lookups (scattered)
+//	dct8x8             CUDA SDK       26         0   register butterfly over streamed blocks
+//	dwthaar1d          CUDA SDK       14         8   per-level butterflies + scratchpad shuffle
+//	lps                GPGPU-Sim      15        19   3D Laplace stencil with scratchpad tiles
+//	nn                 GPGPU-Sim      13         0   8 KB weight matrix, 20x uncached blowup
+//
+// Category membership (Table 1 groups): shared-memory limited {needle,
+// sto, lu}; cache limited {mummer, bfs, backprop, matrixmul, nbody,
+// vectoradd, srad}; register limited {dgemm, pcr, bicubic, hwt, ray};
+// balanced/minimal {the rest}. The Figure 9 benefit set is {needle, lu,
+// mummer, bfs, srad, dgemm, pcr, ray}; all others form the Figure 7 set.
+package workloads

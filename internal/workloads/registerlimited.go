@@ -1,0 +1,361 @@
+package workloads
+
+import (
+	"repro/internal/isa"
+	"repro/internal/kgen"
+)
+
+const (
+	dgemmABase   uint32 = 0
+	dgemmBBase   uint32 = 0x2000_0000
+	dgemmCBase   uint32 = 0x4000_0000
+	pcrCoefBytes uint32 = 176 << 10 // coefficient tables: reuse beyond 64 KB
+	pcrStreamIn  uint32 = 0x2000_0000
+	pcrOutBase   uint32 = 0x4000_0000
+	hwtInBase    uint32 = 0
+	hwtOutBase   uint32 = 0x4000_0000
+	raySceneHot  uint32 = 32 << 10 // upper BVH levels: fit the baseline cache
+	rayMidBase   uint32 = 0x2800_0000
+	rayMidBytes  uint32 = 160 << 10 // mid-tree nodes
+	rayColdBase  uint32 = 0x6000_0000
+	rayColdBytes uint32 = 32 << 20 // leaf geometry
+	rayFrameBase uint32 = 0x4000_0000
+	bicubicOut   uint32 = 0x4000_0000
+)
+
+// dgemmKernel is the MAGMA double-precision GEMM: 36 accumulator registers
+// (a 6x6 register block) plus tile pointers demand 57 registers per thread
+// — the largest register appetite in Table 1 — and 16.6 KB of shared
+// memory per CTA for the A and B tiles. At 18 or 24 registers the
+// accumulator block thrashes, reproducing the paper's spill curve (1.42 /
+// 1.23 / 1.01 / 1.0 / 1.0).
+var dgemmKernel = register(&Kernel{
+	Name:              "dgemm",
+	Suite:             "MAGMA",
+	Category:          RegisterLimited,
+	Description:       "double-precision matrix multiply with 6x6 register blocking",
+	RegsNeeded:        57,
+	ThreadsPerCTA:     256,
+	SharedBytesPerCTA: 17024, // 66.5 KB at full occupancy (Table 1)
+	GridCTAs:          20,
+	Emit:              emitDGEMM,
+})
+
+func emitDGEMM(b *kgen.Builder, e *Env) {
+	// Register map (57): r0-r15 the hot 4x4 accumulator block (live across
+	// the whole kernel), r16-r35 cold setup state (tile descriptors,
+	// prefetch pointers — written at entry, folded in at exit), r36-r43
+	// A/B fragments from shared memory, r44-r51 addressing, r52-r56 temps.
+	// The hot-loop window (accumulators + fragments + two pointers) is
+	// about 26 registers: a 32-register allocation barely spills, 24
+	// thrashes mildly and 18 badly — the Table 1 dgemm spill curve.
+	const accN, coldBase, fragBase, addrBase, tmpBase = 16, 16, 36, 44, 52
+	for i := 0; i < 8; i++ {
+		b.ALU(uint8(addrBase + i))
+	}
+	for i := 0; i < accN; i++ {
+		b.ALU(uint8(i)) // zero the accumulators
+	}
+	for i := 0; i < 20; i++ {
+		b.ALU(uint8(coldBase + i)) // tile descriptors and edge state
+	}
+	b.ALU(tmpBase+2, addrBase+5)
+	b.ALU(tmpBase+3, addrBase+6)
+	b.ALU(tmpBase+4, addrBase+7)
+	warpShm := uint32(e.Warp) * 2128
+	for kt := 0; kt < 14; kt++ {
+		// Stage A and B tiles into shared memory (coalesced streams; the
+		// big matrices have no cross-CTA reuse at this scale).
+		aOff := e.WarpBase(32768) + uint32(kt)*2048
+		bOff := e.WarpBase(32768) + uint32(kt)*2048 + 1024
+		b.ALU(addrBase, addrBase+1, addrBase+2) // advance tile pointers
+		b.ALU(addrBase+1, addrBase)
+		b.LDG(tmpBase, addrBase, kgen.Coalesced(dgemmABase+aOff, 8))
+		b.LDG(tmpBase+1, addrBase+1, kgen.Coalesced(dgemmBBase+bOff, 8))
+		b.STS(tmpBase, addrBase+2, kgen.CoalescedMod(warpShm, 8, 17024))
+		b.STS(tmpBase+1, addrBase+3, kgen.CoalescedMod(warpShm+1024, 8, 17024))
+		b.Bar()
+		b.ALU(addrBase+2, addrBase)
+		b.ALU(addrBase+3, addrBase+2)
+		// Inner product step: fragments are consumed right after they
+		// load (software-pipelined, so they live in the ORF, not the MRF).
+		for i := 0; i < 2; i++ {
+			b.LDS(uint8(fragBase+4+i), addrBase+3, kgen.CoalescedMod(warpShm+1024+uint32(i)*160, 8, 17024))
+		}
+		for j := 0; j < 4; j++ {
+			b.LDS(uint8(fragBase+j), addrBase+2, kgen.CoalescedMod(warpShm+uint32(j)*160, 8, 17024))
+			for i := 0; i < 4; i++ {
+				acc := uint8(i*4 + j)
+				b.ALU(acc, acc, uint8(fragBase+j))
+			}
+		}
+		b.ALU(uint8(fragBase+6), tmpBase, fragBase)
+		b.ALU(uint8(fragBase+7), tmpBase+1, fragBase+1)
+		b.Bar()
+	}
+	// Fold the cold state into the results and write the block out.
+	for i := 0; i < 20; i++ {
+		b.ALU(uint8(i%accN), uint8(i%accN), uint8(coldBase+i))
+	}
+	b.ALU(0, 0, tmpBase+2)
+	b.ALU(1, 1, tmpBase+3)
+	b.ALU(2, 2, tmpBase+4)
+	for i := 0; i < accN; i += 2 {
+		b.STG(uint8(i), addrBase+4, kgen.Coalesced(dgemmCBase+e.WarpBase(16384)+uint32(i)*256, 8))
+	}
+}
+
+// pcrKernel is parallel cyclic reduction for tridiagonal systems [26]:
+// log(n) communication-heavy steps, each streaming system coefficients and
+// exchanging neighbours through shared memory. The shared coefficient
+// tables (~176 KB) reward caches beyond the 64 KB baseline (Table 1:
+// 2.88 / 1.29 / 1.0).
+var pcrKernel = register(&Kernel{
+	Name:              "pcr",
+	Suite:             "Zhang et al. [26]",
+	Category:          RegisterLimited,
+	Description:       "parallel cyclic reduction tridiagonal solver",
+	RegsNeeded:        33,
+	ThreadsPerCTA:     256,
+	SharedBytesPerCTA: 5120, // 20 B/thread (Table 1)
+	GridCTAs:          32,
+	Emit:              emitPCR,
+})
+
+func emitPCR(b *kgen.Builder, e *Env) {
+	// Register map (33): r0-r3 addressing, r4-r12 the three coefficient
+	// triples (a,b,c for current/left/right), r13-r24 reduction state
+	// (long lived across steps), r25-r32 temps.
+	b.ALU(0)
+	b.ALU(1, 0)
+	b.ALU(2, 1)
+	b.ALU(3, 2)
+	for i := 0; i < 12; i++ {
+		b.ALU(uint8(13 + i))
+	}
+	warpShm := uint32(e.Warp) * 640
+	for step := 0; step < 8; step++ {
+		// Stream this step's coefficients; the table region is shared by
+		// all CTAs and revisited every step.
+		coef := (e.WarpBase(2048) + uint32(step)*22528) % pcrCoefBytes
+		b.ALU(0, 3, 2) // advance the coefficient pointers
+		b.ALU(1, 0)
+		b.ALU(2, 1)
+		b.ALU(3, 2)
+		b.LDG(4, 0, kgen.Coalesced(coef, 4))
+		b.LDG(5, 0, kgen.Coalesced((coef+4096)%pcrCoefBytes, 4))
+		b.LDG(6, 0, kgen.Coalesced((coef+8192)%pcrCoefBytes, 4))
+		b.LDG(7, 1, kgen.Coalesced(pcrStreamIn+e.WarpBase(8192)+uint32(step)*1024, 4))
+		// Neighbour exchange through the scratchpad.
+		b.STS(4, 2, kgen.CoalescedMod(warpShm, 4, 5120))
+		b.STS(5, 2, kgen.CoalescedMod(warpShm+256, 4, 5120))
+		b.Bar()
+		b.LDS(8, 3, kgen.CoalescedMod(warpShm+4, 4, 5120))
+		b.LDS(9, 3, kgen.CoalescedMod(warpShm+260, 4, 5120))
+		// Reduction arithmetic: alpha/beta elimination.
+		t := uint8(25 + step%8)
+		s1 := uint8(13 + step%12)
+		s2 := uint8(13 + (step+3)%12)
+		s3 := uint8(13 + (step+6)%12)
+		s4 := uint8(13 + (step+9)%12)
+		b.ALU(10, 4, 8)
+		b.ALU(11, 5, 9)
+		b.ALU(12, 6, 7)
+		b.SFU(t, 10) // reciprocal
+		b.ALU(s1, s1, t)
+		b.ALU(uint8(25+(step+1)%8), 11, 12)
+		b.ALU(s2, s2, uint8(25+(step+1)%8))
+		b.ALU(uint8(25+(step+2)%8), s1, s2)
+		b.ALU(s3, s3, s1)
+		b.ALU(s4, s4, uint8(25+(step+2)%8))
+		b.ALU(uint8(25+(step+3)%8), s3, s4)
+		b.Bar()
+	}
+	b.STG(13, 3, kgen.Coalesced(pcrOutBase+e.WarpBase(512), 4))
+	b.STG(14, 3, kgen.Coalesced(pcrOutBase+e.WarpBase(512)+128, 4))
+}
+
+// bicubicKernel is the CUDA SDK bicubic texture filtering demo: four
+// texture taps and heavy weight arithmetic per pixel. Texture fetches use
+// the dedicated sampler path, so its DRAM traffic is cache-insensitive
+// (Table 1: 1.0 / 1.0 / 1.0) while spills appear below 33 registers.
+var bicubicKernel = register(&Kernel{
+	Name:          "bicubic",
+	Suite:         "CUDA SDK",
+	Category:      RegisterLimited,
+	Description:   "bicubic texture filtering (4 texture taps/pixel)",
+	RegsNeeded:    33,
+	ThreadsPerCTA: 256,
+	GridCTAs:      20,
+	Emit:          emitBicubic,
+})
+
+func emitBicubic(b *kgen.Builder, e *Env) {
+	// Register map (33): r0-r2 addressing, r3-r6 texel values, r7-r22
+	// filter weights and pixel state (long lived), r23-r32 temps.
+	b.ALU(0)
+	b.ALU(1, 0)
+	b.ALU(2, 1)
+	for i := 0; i < 16; i++ {
+		b.ALU(uint8(7 + i))
+	}
+	for px := 0; px < 10; px++ {
+		base := e.WarpBase(16384) + uint32(px)*1024
+		b.ALU(0, 1, 2) // advance the sample coordinates
+		b.ALU(2, 0)
+		for tap := 0; tap < 4; tap++ {
+			b.TEX(uint8(3+tap), 0, kgen.Coalesced(base+uint32(tap)*256, 8))
+		}
+		t1 := uint8(23 + px%10)
+		b.SFU(t1, 3)
+		b.ALU(uint8(23+(px+1)%10), 4, 5)
+		// All sixteen filter weights stay live; each pixel combines four.
+		for i := 0; i < 4; i++ {
+			w := uint8(7 + (px*4+i)%16)
+			b.ALU(w, w, uint8(3+i))
+			b.ALU(uint8(23+(px+i+2)%10), w, t1)
+		}
+		b.ALU(uint8(7+(px*4)%16), uint8(7+(px*4+1)%16), uint8(23+(px+1)%10))
+		b.STG(uint8(7+px%16), 2, kgen.Coalesced(bicubicOut+e.WarpBase(4096)+uint32(px)*128, 4))
+	}
+}
+
+// hwtKernel is the Haar wavelet transform (GPGPU-Sim suite): almost pure
+// register arithmetic over streamed data with a small scratchpad shuffle.
+// 35 registers of filter state spill only slightly even at 18 (Table 1:
+// 1.04 across the sweep).
+var hwtKernel = register(&Kernel{
+	Name:              "hwt",
+	Suite:             "GPGPU-Sim",
+	Category:          RegisterLimited,
+	Description:       "Haar wavelet transform (register-resident filter state)",
+	RegsNeeded:        35,
+	ThreadsPerCTA:     256,
+	SharedBytesPerCTA: 5888, // 23 B/thread
+	GridCTAs:          24,
+	Emit:              emitHWT,
+})
+
+func emitHWT(b *kgen.Builder, e *Env) {
+	// Register map (35): r0-r2 addressing, r3-r4 inputs, r5-r16 the live
+	// wavelet level (hot), r17-r28 coarse-level coefficients (written
+	// early, folded in at the end: cold), r29-r34 temps. The hot window
+	// is ~14 registers, giving hwt its nearly flat Table 1 spill curve.
+	b.ALU(0)
+	b.ALU(1, 0)
+	b.ALU(2, 1)
+	for i := 0; i < 16; i++ {
+		b.ALU(uint8(13 + i))
+	}
+	warpShm := uint32(e.Warp) * 736
+	for blk := 0; blk < 6; blk++ {
+		b.ALU(0, 1, 2) // advance the block pointers
+		b.ALU(1, 0)
+		b.ALU(2, 1)
+		b.LDG(3, 0, kgen.Coalesced(hwtInBase+e.WarpBase(8192)+uint32(blk)*256, 4))
+		b.LDG(4, 0, kgen.Coalesced(hwtInBase+e.WarpBase(8192)+uint32(blk)*256+128, 4))
+		// Butterfly levels: each level writes a fresh span of pyramid
+		// registers from the previous level.
+		for lv := 0; lv < 4; lv++ {
+			p := uint8(5 + (blk*4+lv)%8)
+			q := uint8(5 + (blk*4+lv+2)%8)
+			t := uint8(29 + (blk*4+lv)%6)
+			b.ALU(t, 3, 4)
+			b.ALU(p, t, q)
+			b.ALU(uint8(29+(blk*4+lv+1)%6), p, t)
+		}
+		b.STS(5, 1, kgen.CoalescedMod(warpShm+uint32(blk)*64, 4, 5888))
+		b.Bar()
+		b.LDS(29, 2, kgen.CoalescedMod(warpShm+uint32(blk)*64+32, 4, 5888))
+		b.ALU(uint8(5+blk%8), 29, 3)
+		// Fold two coarse coefficients into this block's output.
+		b.ALU(uint8(13+(blk*2)%16), uint8(13+(blk*2)%16), 5)
+		b.ALU(uint8(13+(blk*2+1)%16), uint8(13+(blk*2+1)%16), 6)
+		b.STG(uint8(5+(blk*4)%8), 2, kgen.Coalesced(hwtOutBase+e.WarpBase(4096)+uint32(blk)*128, 4))
+	}
+}
+
+// rayKernel is the GPGPU-Sim ray tracer: each thread renders a pixel
+// through several reflection bounces, gathering BVH nodes and primitives
+// from a scene whose footprint (~224 KB) exceeds the baseline cache. Its
+// divergent gathers make cached and uncached DRAM traffic nearly equal
+// (Table 1: 1.02 / 1.07 / 1.0).
+var rayKernel = register(&Kernel{
+	Name:          "ray",
+	Suite:         "GPGPU-Sim",
+	Category:      RegisterLimited,
+	Description:   "recursive ray tracing (divergent BVH walk, deep register state)",
+	RegsNeeded:    42,
+	ThreadsPerCTA: 256,
+	GridCTAs:      20,
+	Emit:          emitRay,
+})
+
+func emitRay(b *kgen.Builder, e *Env) {
+	// Register map (42): r0-r2 addressing, r3-r5 fetched node/primitive,
+	// r6-r11 the hot ray core (origin/direction — touched every probe),
+	// r12-r17 extended per-pixel state (touched per bounce), r18-r23 the
+	// live traversal-stack window, r24-r33 deep stack and shadow-ray
+	// state (touched once per pixel: cold), r34-r41 temps. The hot window
+	// is ~20 registers, so an 18-register build spills mildly and larger
+	// budgets hardly at all (Table 1: 1.18 / 1.11 / 1.08 / 1.05).
+	b.ALU(0)
+	b.ALU(1, 0)
+	b.ALU(2, 1)
+	for i := 0; i < 12; i++ {
+		b.ALU(uint8(6 + i))
+	}
+	for i := 0; i < 10; i++ {
+		b.ALU(uint8(24 + i)) // deep stack / shadow state: cold
+	}
+	// Upper BVH levels are shared by all rays; leaf geometry is a cold
+	// tail. Coherent primary rays keep lane pairs on the same node line.
+	tiers := []tier{
+		{0, raySceneHot, 72},
+		{rayMidBase, rayMidBytes, 1},
+		{rayColdBase, rayColdBytes, 27},
+	}
+	for px := 0; px < 3; px++ {
+		// All lanes start a fresh pixel; rays terminate at different
+		// bounce depths (SIMT divergence).
+		b.SetMask(isa.FullMask)
+		for bounce := 0; bounce < 3; bounce++ {
+			if bounce > 0 {
+				// A quarter of the remaining rays miss everything or hit
+				// a light and drop out of the warp.
+				mask := b.Mask() & ^(uint32(0xFF) << uint(8*(bounce+px)%4*8%24))
+				if mask != 0 {
+					b.SetMask(mask)
+				}
+			}
+			for probe := 0; probe < 4; probe++ {
+				// Divergent BVH descent; the node pointer is recomputed
+				// each probe and reads from the LRF.
+				b.ALU(0, 3, uint8(6+probe%6))
+				reg := pickTier(e, tiers)
+				b.LDG(3, 0, kgen.ClusteredRandom(e.Rng, reg.base, reg.size, 2))
+				st := uint8(18 + (bounce*2+probe)%6)
+				t := uint8(34 + probe%4)
+				b.ALU(t, 3, uint8(6+probe%6))
+				b.ALU(st, t, uint8(6+(probe+3)%6))
+				b.ALU(4, st, t)
+				b.ALU(uint8(34+(probe+1)%4), 4, st)
+			}
+			// Per-bounce state update touches the extended registers.
+			ext := uint8(12 + bounce*2%6)
+			b.ALU(ext, ext, 4)
+			b.ALU(uint8(12+(bounce*2+1)%6), ext, uint8(24+(px*3+bounce)%10))
+			// Shade the hit: update the hot ray core.
+			b.ALU(1, 4, 5)
+			reg := pickTier(e, tiers)
+			b.LDG(5, 1, kgen.ClusteredRandom(e.Rng, reg.base, reg.size, 2))
+			b.SFU(uint8(38+bounce%4), 5)
+			for i := 0; i < 10; i++ {
+				h := uint8(6 + i%6)
+				b.ALU(h, h, uint8(38+(bounce+i)%4))
+				b.ALU(uint8(34+(bounce+i+1)%4), h, uint8(6+(i+2)%6))
+			}
+		}
+		b.STG(6, 2, kgen.Coalesced(rayFrameBase+e.WarpBase(2048)+uint32(px)*128, 4))
+	}
+}

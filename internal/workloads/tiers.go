@@ -1,0 +1,28 @@
+package workloads
+
+// tier is one region of a tiered working set: irregular kernels gather
+// mostly from a hot region that a modest cache captures, sometimes from a
+// mid-size region only larger caches capture, and sometimes from a cold
+// region no cache holds. Tier weights are the tuning knob that sets each
+// benchmark's Table 1 DRAM profile.
+type tier struct {
+	base, size uint32
+	weight     int
+}
+
+// pickTier selects a tier with probability proportional to its weight,
+// using the env's deterministic per-warp stream.
+func pickTier(e *Env, tiers []tier) tier {
+	total := 0
+	for _, t := range tiers {
+		total += t.weight
+	}
+	n := int(e.Rng.Uint32N(uint32(total)))
+	for _, t := range tiers {
+		n -= t.weight
+		if n < 0 {
+			return t
+		}
+	}
+	return tiers[len(tiers)-1]
+}
