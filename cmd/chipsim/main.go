@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/chip"
 	"repro/internal/config"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/isa"
 	"repro/internal/occupancy"
+	"repro/internal/parallel"
 	"repro/internal/report"
 	"repro/internal/sm"
 	"repro/internal/workloads"
@@ -44,8 +46,10 @@ func main() {
 		sms        = flag.Int("sms", 4, "number of streaming multiprocessors")
 		l2KB       = flag.Int("l2", 0, "optional shared chip L2 capacity in KB (0 = none, as in the paper)")
 		stagger    = flag.Int64("stagger", 0, "per-SM launch stagger in cycles")
+		jobs       = flag.Int("j", runtime.NumCPU(), "parallel simulation workers (1 = serial)")
 	)
 	flag.Parse()
+	parallel.SetWorkers(*jobs)
 	if *kernelName == "" {
 		fmt.Fprintln(os.Stderr, "chipsim: -kernel is required")
 		os.Exit(2)
@@ -56,26 +60,32 @@ func main() {
 		os.Exit(2)
 	}
 
-	// Single-SM reference (the paper's methodology).
+	// The single-SM reference (the paper's methodology) and the multi-SM
+	// chip simulation are independent; run them concurrently.
 	runner := core.NewRunner()
-	single, err := runner.Baseline(k)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "chipsim:", err)
-		os.Exit(1)
-	}
-
-	occ := occupancy.Compute(k.Requirements(), config.Baseline(), 0)
-	src := &workloads.Source{K: k, Seed: 1}
-	_, warps := src.Grid()
 	mem := dram.DefaultSystemConfig(*sms)
 	mem.L2Bytes = *l2KB << 10
-	machine, err := chip.New(chip.Config{NumSMs: *sms, Mem: mem, LaunchStagger: *stagger},
-		config.Baseline(), runner.Params, &replicated{src, k.GridCTAs, warps, *sms}, occ.CTAs)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "chipsim:", err)
-		os.Exit(1)
-	}
-	res, err := machine.Run()
+	var single *core.Result
+	var res *chip.Result
+	err = parallel.Do(
+		func() error {
+			var err error
+			single, err = runner.Baseline(k)
+			return err
+		},
+		func() error {
+			occ := occupancy.Compute(k.Requirements(), config.Baseline(), 0)
+			src := &workloads.Source{K: k, Seed: 1}
+			_, warps := src.Grid()
+			machine, err := chip.New(chip.Config{NumSMs: *sms, Mem: mem, LaunchStagger: *stagger},
+				config.Baseline(), runner.Params, &replicated{src, k.GridCTAs, warps, *sms}, occ.CTAs)
+			if err != nil {
+				return err
+			}
+			res, err = machine.Run()
+			return err
+		},
+	)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chipsim:", err)
 		os.Exit(1)

@@ -2,10 +2,14 @@
 // Cache, Scratch, and Register File Memories in a Throughput Processor"
 // (MICRO 2012) from the simulator, printing each as a text table.
 //
+// Independent (kernel, config) simulations inside each experiment fan out
+// across -j worker goroutines (default: all CPUs); the output is
+// byte-identical for every -j value, and -j 1 runs the exact serial path.
+//
 // Examples:
 //
-//	paper                       # regenerate everything
-//	paper figure9 table6        # selected experiments
+//	paper                       # regenerate everything, all CPUs
+//	paper -j 1 figure9 table6   # selected experiments, serial
 //	paper -csv figure2          # machine-readable output
 package main
 
@@ -13,22 +17,27 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/parallel"
 )
 
 func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	chart := flag.Bool("chart", false, "render capacity sweeps as ASCII charts (figure2/3/4/11)")
+	jobs := flag.Int("j", runtime.NumCPU(), "parallel simulation workers (1 = serial)")
 	flag.Parse()
+	parallel.SetWorkers(*jobs)
 
 	names := flag.Args()
 	if len(names) == 0 {
 		names = harness.Experiments
 	}
 	r := core.NewRunner()
+	total := time.Now()
 	for _, name := range names {
 		start := time.Now()
 		if *chart {
@@ -38,7 +47,7 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Print(out)
-			fmt.Printf("(%s charted in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(os.Stderr, "(%s charted in %v)\n", name, time.Since(start).Round(time.Millisecond))
 			continue
 		}
 		t, err := harness.Run(r, name)
@@ -49,8 +58,12 @@ func main() {
 		if *csv {
 			fmt.Print(t.CSV())
 		} else {
-			fmt.Print(t)
-			fmt.Printf("(%s regenerated in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+			fmt.Println(t)
 		}
+		// Timing goes to stderr so stdout stays byte-identical across
+		// runs and -j values (and safe to redirect into golden files).
+		fmt.Fprintf(os.Stderr, "(%s regenerated in %v)\n", name, time.Since(start).Round(time.Millisecond))
 	}
+	fmt.Fprintf(os.Stderr, "paper: %d experiment(s) in %v with %d worker(s)\n",
+		len(names), time.Since(total).Round(time.Millisecond), parallel.Workers())
 }

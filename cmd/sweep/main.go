@@ -1,7 +1,9 @@
 // Command sweep runs custom capacity sweeps: it varies one local-memory
 // resource for one benchmark across a range and reports performance,
 // DRAM traffic, and energy at each point — the generalization of the
-// paper's Figures 2-4 to arbitrary benchmarks and ranges.
+// paper's Figures 2-4 to arbitrary benchmarks and ranges. Sweep points
+// run in parallel across -j workers; rows print in capacity order
+// regardless of worker count.
 //
 // Examples:
 //
@@ -14,13 +16,32 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/occupancy"
+	"repro/internal/parallel"
 	"repro/internal/report"
 	"repro/internal/workloads"
 )
+
+// parseStep turns a -step value into a capacity successor function:
+// "2x" doubles, a positive integer adds that many KB. Anything else —
+// including trailing garbage like "64abc", which fmt.Sscanf would
+// silently accept — is rejected.
+func parseStep(step string) (func(kb int) int, error) {
+	if step == "2x" {
+		return func(kb int) int { return kb * 2 }, nil
+	}
+	add, err := strconv.Atoi(step)
+	if err != nil || add <= 0 {
+		return nil, fmt.Errorf("bad -step %q (want a positive KB count or 2x)", step)
+	}
+	return func(kb int) int { return kb + add }, nil
+}
 
 func main() {
 	var (
@@ -30,9 +51,11 @@ func main() {
 		toKB       = flag.Int("to", 512, "last capacity in KB")
 		step       = flag.String("step", "2x", "additive KB step (e.g. 64) or \"2x\" for doubling")
 		threads    = flag.Int("threads", 0, "resident thread cap (0 = architectural limit)")
+		jobs       = flag.Int("j", runtime.NumCPU(), "parallel simulation workers (1 = serial)")
 		csv        = flag.Bool("csv", false, "emit CSV")
 	)
 	flag.Parse()
+	parallel.SetWorkers(*jobs)
 	if *kernelName == "" {
 		fmt.Fprintln(os.Stderr, "sweep: -kernel is required")
 		os.Exit(2)
@@ -42,22 +65,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(2)
 	}
+	next, err := parseStep(*step)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(2)
+	}
+	switch *resource {
+	case "rf", "shared", "cache":
+	default:
+		fmt.Fprintf(os.Stderr, "sweep: unknown resource %q\n", *resource)
+		os.Exit(2)
+	}
 
-	next := func(kb int) int { return kb * 2 }
-	if *step != "2x" {
-		var add int
-		if _, err := fmt.Sscanf(*step, "%d", &add); err != nil || add <= 0 {
-			fmt.Fprintln(os.Stderr, "sweep: bad -step (want a positive KB count or 2x)")
-			os.Exit(2)
-		}
-		next = func(kb int) int { return kb + add }
+	var capacities []int
+	for kb := *fromKB; kb <= *toKB; kb = next(kb) {
+		capacities = append(capacities, kb)
 	}
 
 	r := core.NewRunner()
-	t := report.NewTable(
-		fmt.Sprintf("%s: performance vs %s capacity", k.Name, *resource),
-		"capacity", "threads", "cycles", "IPC", "dram bytes", "energy (J)")
-	for kb := *fromKB; kb <= *toKB; kb = next(kb) {
+	start := time.Now()
+	rows, err := parallel.Map(len(capacities), func(i int) ([]string, error) {
+		kb := capacities[i]
 		cfg := config.MemConfig{
 			Design:      config.Partitioned,
 			RFBytes:     occupancy.FullOccupancyRFBytes(k.RegsNeeded),
@@ -72,22 +100,31 @@ func main() {
 			cfg.SharedBytes = kb << 10
 		case "cache":
 			cfg.CacheBytes = kb << 10
-		default:
-			fmt.Fprintf(os.Stderr, "sweep: unknown resource %q\n", *resource)
-			os.Exit(2)
 		}
 		res, err := r.Run(core.RunSpec{Kernel: k, Config: cfg})
 		if err != nil {
-			t.AddRow(fmt.Sprintf("%dK", kb), "-", "infeasible", "-", "-", "-")
-			continue
+			return []string{fmt.Sprintf("%dK", kb), "-", "infeasible", "-", "-", "-"}, nil
 		}
-		t.AddRow(fmt.Sprintf("%dK", kb), fmt.Sprint(res.Occupancy.Threads),
+		return []string{fmt.Sprintf("%dK", kb), fmt.Sprint(res.Occupancy.Threads),
 			fmt.Sprint(res.Counters.Cycles), fmt.Sprintf("%.3f", res.Counters.IPC()),
-			fmt.Sprint(res.Counters.DRAMBytes()), fmt.Sprintf("%.3e", res.Energy.Total()))
+			fmt.Sprint(res.Counters.DRAMBytes()), fmt.Sprintf("%.3e", res.Energy.Total())}, nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("%s: performance vs %s capacity", k.Name, *resource),
+		"capacity", "threads", "cycles", "IPC", "dram bytes", "energy (J)")
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	if *csv {
 		fmt.Print(t.CSV())
 	} else {
 		fmt.Print(t)
 	}
+	fmt.Fprintf(os.Stderr, "sweep: %d point(s) in %v with %d worker(s)\n",
+		len(capacities), time.Since(start).Round(time.Millisecond), parallel.Workers())
 }

@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestParseStep(t *testing.T) {
+	cases := []struct {
+		step    string
+		wantErr bool
+		from    int
+		next    int // expected successor of from, when valid
+	}{
+		{"2x", false, 32, 64},
+		{"64", false, 32, 96},
+		{"1", false, 10, 11},
+		{"64abc", true, 0, 0}, // fmt.Sscanf used to accept this as 64
+		{"abc", true, 0, 0},
+		{"", true, 0, 0},
+		{"0", true, 0, 0},
+		{"-8", true, 0, 0},
+		{"2x2", true, 0, 0},
+		{" 64", true, 0, 0},
+		{"6 4", true, 0, 0},
+	}
+	for _, c := range cases {
+		next, err := parseStep(c.step)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("parseStep(%q): want error, got none", c.step)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseStep(%q): %v", c.step, err)
+			continue
+		}
+		if got := next(c.from); got != c.next {
+			t.Errorf("parseStep(%q)(%d) = %d, want %d", c.step, c.from, got, c.next)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/occupancy"
+	"repro/internal/parallel"
 	"repro/internal/workloads"
 )
 
@@ -73,11 +74,19 @@ type Report struct {
 // architectural limit) and register allocations (the spill-free demand,
 // plus the largest allocation that fits each thread count when smaller)
 // for the kernel under a unified memory of totalBytes.
+//
+// Candidates are simulated in parallel; the winner is selected in
+// enumeration order with a strict comparison, so ties resolve to the
+// earliest candidate exactly as the serial search did.
 func Tune(r *core.Runner, k *workloads.Kernel, totalBytes int, obj Objective) (*Report, error) {
 	if k == nil {
 		return nil, fmt.Errorf("autotune: nil kernel")
 	}
-	rep := &Report{Objective: obj, DemandRegs: k.RegsNeeded}
+	type point struct {
+		threads, regs int
+		cfg           config.MemConfig
+	}
+	var points []point
 	for threads := k.ThreadsPerCTA; threads <= config.MaxThreadsPerSM; threads += k.ThreadsPerCTA {
 		ctas := threads / k.ThreadsPerCTA
 		shared := ctas * k.SharedBytesPerCTA
@@ -92,15 +101,28 @@ func Tune(r *core.Runner, k *workloads.Kernel, totalBytes int, obj Objective) (*
 			if err != nil {
 				continue // this point does not fit; skip it
 			}
-			res, err := r.Run(core.RunSpec{Kernel: k, Config: cfg, RegsPerThread: regs})
-			if err != nil {
-				continue
-			}
-			cand := Candidate{Threads: res.Occupancy.Threads, Regs: regs, Config: cfg, Result: res}
-			rep.Evaluated = append(rep.Evaluated, cand)
-			if rep.Best.Result == nil || cand.score(obj) < rep.Best.score(obj) {
-				rep.Best = cand
-			}
+			points = append(points, point{threads: threads, regs: regs, cfg: cfg})
+		}
+	}
+	cands, err := parallel.Map(len(points), func(i int) (Candidate, error) {
+		p := points[i]
+		res, err := r.Run(core.RunSpec{Kernel: k, Config: p.cfg, RegsPerThread: p.regs})
+		if err != nil {
+			return Candidate{}, nil // infeasible at runtime; dropped below
+		}
+		return Candidate{Threads: res.Occupancy.Threads, Regs: p.regs, Config: p.cfg, Result: res}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Objective: obj, DemandRegs: k.RegsNeeded}
+	for _, cand := range cands {
+		if cand.Result == nil {
+			continue
+		}
+		rep.Evaluated = append(rep.Evaluated, cand)
+		if rep.Best.Result == nil || cand.score(obj) < rep.Best.score(obj) {
+			rep.Best = cand
 		}
 	}
 	if rep.Best.Result == nil {

@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/config"
 	"repro/internal/energy"
@@ -58,6 +59,12 @@ func (r *Result) Performance() float64 {
 
 // Runner executes runs and caches the per-benchmark baseline needed for
 // energy calibration and for normalizing results the way the paper does.
+//
+// A Runner is safe for concurrent use: the experiment drivers fan their
+// independent (kernel, config) runs out through internal/parallel, and the
+// only shared mutable state — the baseline cache — is computed at most
+// once per kernel regardless of how many goroutines ask for it. Params,
+// Energy, and Seed must not be modified once runs are in flight.
 type Runner struct {
 	// Params are the SM timing parameters (Table 2).
 	Params sm.Params
@@ -66,7 +73,15 @@ type Runner struct {
 	// Seed is the default workload seed.
 	Seed uint64
 
-	baselines map[string]*Result
+	mu        sync.Mutex
+	baselines map[string]*baselineEntry
+}
+
+// baselineEntry computes one kernel's baseline run exactly once.
+type baselineEntry struct {
+	once sync.Once
+	res  *Result
+	err  error
 }
 
 // NewRunner returns a Runner with the paper's default parameters.
@@ -75,7 +90,7 @@ func NewRunner() *Runner {
 		Params:    sm.DefaultParams(),
 		Energy:    energy.NewModel(),
 		Seed:      1,
-		baselines: make(map[string]*Result),
+		baselines: make(map[string]*baselineEntry),
 	}
 }
 
@@ -120,28 +135,35 @@ func (r *Runner) Run(spec RunSpec) (*Result, error) {
 
 // Baseline returns (and caches) the kernel's run under the baseline
 // partitioned 256/64/64 configuration — the normalization point for every
-// comparative result in the paper.
+// comparative result in the paper. Concurrent callers share a single
+// computation per kernel.
 func (r *Runner) Baseline(k *workloads.Kernel) (*Result, error) {
-	if res, ok := r.baselines[k.Name]; ok {
-		return res, nil
+	r.mu.Lock()
+	e, ok := r.baselines[k.Name]
+	if !ok {
+		e = &baselineEntry{}
+		r.baselines[k.Name] = e
 	}
-	res, err := r.Run(RunSpec{Kernel: k, Config: config.Baseline()})
-	if err != nil {
-		return nil, fmt.Errorf("core: baseline for %s: %w", k.Name, err)
-	}
-	r.baselines[k.Name] = res
-	return res, nil
+	r.mu.Unlock()
+	e.once.Do(func() {
+		e.res, e.err = r.Run(RunSpec{Kernel: k, Config: config.Baseline()})
+		if e.err != nil {
+			e.err = fmt.Errorf("core: baseline for %s: %w", k.Name, e.err)
+		}
+	})
+	return e.res, e.err
 }
 
 // calibratedOther returns the benchmark's constant non-bank SM dynamic
-// power (watts), calibrated on the baseline run (Section 5.2). When the
-// run at hand *is* the baseline run, it self-calibrates to avoid
-// recursion.
+// power (watts), calibrated on the baseline run (Section 5.2). A run under
+// the baseline configuration always self-calibrates on its own counters:
+// the simulator is deterministic, so those counters equal the cached
+// baseline's, and depending only on the spec (never on cache state) keeps
+// results identical whatever order concurrent runs complete in. It also
+// avoids re-entering Baseline from within the baseline run itself.
 func (r *Runner) calibratedOther(k *workloads.Kernel, cfg config.MemConfig, c *stats.Counters) (float64, error) {
 	if cfg == config.Baseline() {
-		if _, cached := r.baselines[k.Name]; !cached {
-			return r.Energy.CalibrateOther(cfg, c), nil
-		}
+		return r.Energy.CalibrateOther(cfg, c), nil
 	}
 	base, err := r.Baseline(k)
 	if err != nil {

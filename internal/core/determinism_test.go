@@ -1,0 +1,56 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/workloads"
+)
+
+// TestRunTwiceIdenticalCounters is the determinism property the parallel
+// experiment engine rests on: simulating the same (kernel, config) twice
+// from fresh state must produce bit-identical counters, occupancy, and
+// energy. Any hidden global state in trace generation, the SM model, or
+// the memory system would show up here before it can become a race.
+func TestRunTwiceIdenticalCounters(t *testing.T) {
+	// A spread of memory behaviours: streaming, divergent gather,
+	// shared-memory wavefront, and a spilling configuration.
+	specs := []RunSpec{
+		{Kernel: mustKernel(t, "vectoradd"), Config: config.Baseline()},
+		{Kernel: mustKernel(t, "bfs"), Config: config.Baseline()},
+		{Kernel: mustKernel(t, "needle"), Config: config.Baseline()},
+		{Kernel: mustKernel(t, "pcr"), Config: config.Baseline(), RegsPerThread: 18},
+	}
+	for _, spec := range specs {
+		fresh := func() *Result {
+			res, err := NewRunner().Run(spec)
+			if err != nil {
+				t.Fatalf("%s: %v", spec.Kernel.Name, err)
+			}
+			return res
+		}
+		a, b := fresh(), fresh()
+		if !reflect.DeepEqual(a.Counters, b.Counters) {
+			t.Errorf("%s: counters differ across fresh runs:\nfirst:  %+v\nsecond: %+v",
+				spec.Kernel.Name, a.Counters, b.Counters)
+		}
+		if a.Occupancy != b.Occupancy {
+			t.Errorf("%s: occupancy differs across fresh runs: %+v vs %+v",
+				spec.Kernel.Name, a.Occupancy, b.Occupancy)
+		}
+		if a.Energy != b.Energy {
+			t.Errorf("%s: energy differs across fresh runs: %+v vs %+v",
+				spec.Kernel.Name, a.Energy, b.Energy)
+		}
+	}
+}
+
+func mustKernel(t *testing.T, name string) *workloads.Kernel {
+	t.Helper()
+	k, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/energy"
 	"repro/internal/occupancy"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
@@ -35,10 +36,11 @@ type Table1Row struct {
 	DRAMNorm [3]float64
 }
 
-// Table1 regenerates the workload characterization for the given kernels.
+// Table1 regenerates the workload characterization for the given kernels,
+// one kernel per parallel work item.
 func (r *Runner) Table1(kernels []*workloads.Kernel) ([]Table1Row, error) {
-	rows := make([]Table1Row, 0, len(kernels))
-	for _, k := range kernels {
+	return parallel.Map(len(kernels), func(i int) (Table1Row, error) {
+		k := kernels[i]
 		row := Table1Row{
 			Name:                 k.Name,
 			Category:             k.Category,
@@ -50,26 +52,25 @@ func (r *Runner) Table1(kernels []*workloads.Kernel) ([]Table1Row, error) {
 		// spills are inserted by the register allocator, not the timing
 		// model. Sample a few CTAs; the ratio is CTA-invariant.
 		base := r.dynInsts(k, 0)
-		for i, budget := range SpillBudgets {
-			row.DynInstRatio[i] = float64(r.dynInsts(k, budget)) / float64(base)
+		for j, budget := range SpillBudgets {
+			row.DynInstRatio[j] = float64(r.dynInsts(k, budget)) / float64(base)
 		}
 		// DRAM traffic under the Section 3.3 isolation config (spill-free
 		// registers, unbounded shared memory) at each cache size.
 		var dram [3]int64
-		for i, cb := range Table1CacheSizes {
+		for j, cb := range Table1CacheSizes {
 			cfg := IsolationConfig(k, occupancy.FullOccupancyRFBytes(k.RegsNeeded), cb, 0)
 			res, err := r.Run(RunSpec{Kernel: k, Config: cfg})
 			if err != nil {
-				return nil, fmt.Errorf("table1 %s cache=%d: %w", k.Name, cb, err)
+				return row, fmt.Errorf("table1 %s cache=%d: %w", k.Name, cb, err)
 			}
-			dram[i] = res.Counters.DRAMBytes()
+			dram[j] = res.Counters.DRAMBytes()
 		}
-		for i := range dram {
-			row.DRAMNorm[i] = float64(dram[i]) / float64(dram[2])
+		for j := range dram {
+			row.DRAMNorm[j] = float64(dram[j]) / float64(dram[2])
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // dynInsts counts warp instructions in a sample of the kernel's trace
@@ -122,41 +123,73 @@ var ThreadSweep = []int{256, 512, 768, 1024}
 // Figure2 reproduces the performance-versus-register-file-capacity study:
 // lines are registers/thread from SpillBudgets, points are thread counts,
 // cache is fixed at 64 KB and shared memory is unbounded. Performance is
-// normalized to (64 regs, 1024 threads).
+// normalized to (64 regs, 1024 threads). All (benchmark, regs, threads)
+// points run as one flat parallel batch.
 func (r *Runner) Figure2() ([]FigureSweep, error) {
-	out := make([]FigureSweep, 0, len(Figure2Benchmarks))
-	for _, name := range Figure2Benchmarks {
+	kernels, err := kernelsByName(Figure2Benchmarks)
+	if err != nil {
+		return nil, err
+	}
+	perBench := len(SpillBudgets) * len(ThreadSweep)
+	points, err := parallel.Map(len(kernels)*perBench, func(i int) (SweepPoint, error) {
+		k := kernels[i/perBench]
+		regs := SpillBudgets[i%perBench/len(ThreadSweep)]
+		threads := ThreadSweep[i%len(ThreadSweep)]
+		eff := regs
+		if eff > k.RegsNeeded {
+			eff = k.RegsNeeded
+		}
+		rf := eff * 4 * threads
+		cfg := IsolationConfig(k, rf, 64<<10, threads)
+		res, err := r.Run(RunSpec{Kernel: k, Config: cfg, RegsPerThread: eff})
+		pt := SweepPoint{Regs: regs, Threads: threads, CapacityKB: rf >> 10}
+		if err != nil {
+			pt.Infeasible = true
+		} else {
+			pt.Perf = res.Performance()
+		}
+		return pt, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return groupSweeps(kernels, points, perBench, func(p SweepPoint) bool {
+		return p.Regs == 64 && p.Threads == 1024
+	}), nil
+}
+
+// kernelsByName resolves a benchmark name list, failing on the first
+// unknown name as the serial loops did.
+func kernelsByName(names []string) ([]*workloads.Kernel, error) {
+	out := make([]*workloads.Kernel, len(names))
+	for i, name := range names {
 		k, err := workloads.ByName(name)
 		if err != nil {
 			return nil, err
 		}
-		sweep := FigureSweep{Benchmark: name}
+		out[i] = k
+	}
+	return out, nil
+}
+
+// groupSweeps slices a flat per-benchmark-major point batch back into one
+// FigureSweep per kernel, normalizing each to its reference point (the
+// feasible point isRef selects).
+func groupSweeps(kernels []*workloads.Kernel, points []SweepPoint, perBench int,
+	isRef func(SweepPoint) bool) []FigureSweep {
+	out := make([]FigureSweep, 0, len(kernels))
+	for b, k := range kernels {
+		sweep := FigureSweep{Benchmark: k.Name, Points: points[b*perBench : (b+1)*perBench]}
 		ref := 0.0
-		for _, regs := range SpillBudgets {
-			for _, threads := range ThreadSweep {
-				eff := regs
-				if eff > k.RegsNeeded {
-					eff = k.RegsNeeded
-				}
-				rf := eff * 4 * threads
-				cfg := IsolationConfig(k, rf, 64<<10, threads)
-				res, err := r.Run(RunSpec{Kernel: k, Config: cfg, RegsPerThread: eff})
-				pt := SweepPoint{Regs: regs, Threads: threads, CapacityKB: rf >> 10}
-				if err != nil {
-					pt.Infeasible = true
-				} else {
-					pt.Perf = res.Performance()
-					if regs == 64 && threads == 1024 {
-						ref = pt.Perf
-					}
-				}
-				sweep.Points = append(sweep.Points, pt)
+		for _, p := range sweep.Points {
+			if !p.Infeasible && isRef(p) {
+				ref = p.Perf
 			}
 		}
 		normalize(sweep.Points, ref)
 		out = append(out, sweep)
 	}
-	return out, nil
+	return out
 }
 
 // Figure3Benchmarks are the shared-memory-capacity case studies.
@@ -166,43 +199,41 @@ var Figure3Benchmarks = []string{"needle", "pcr", "lu", "sto"}
 // registers, 64 KB cache, shared memory sized exactly for each resident
 // thread count. Normalized to 1024 threads.
 func (r *Runner) Figure3() ([]FigureSweep, error) {
-	out := make([]FigureSweep, 0, len(Figure3Benchmarks))
-	for _, name := range Figure3Benchmarks {
-		k, err := workloads.ByName(name)
-		if err != nil {
-			return nil, err
-		}
-		sweep := FigureSweep{Benchmark: name}
-		ref := 0.0
-		for _, threads := range ThreadSweep {
-			ctas := threads / k.ThreadsPerCTA
-			if ctas < 1 {
-				ctas = 1
-			}
-			shm := ctas * k.SharedBytesPerCTA
-			cfg := config.MemConfig{
-				Design:      config.Partitioned,
-				RFBytes:     occupancy.FullOccupancyRFBytes(k.RegsNeeded),
-				SharedBytes: shm,
-				CacheBytes:  64 << 10,
-				MaxThreads:  threads,
-			}
-			res, err := r.Run(RunSpec{Kernel: k, Config: cfg})
-			pt := SweepPoint{Threads: threads, CapacityKB: shm >> 10}
-			if err != nil {
-				pt.Infeasible = true
-			} else {
-				pt.Perf = res.Performance()
-				if threads == 1024 {
-					ref = pt.Perf
-				}
-			}
-			sweep.Points = append(sweep.Points, pt)
-		}
-		normalize(sweep.Points, ref)
-		out = append(out, sweep)
+	kernels, err := kernelsByName(Figure3Benchmarks)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	perBench := len(ThreadSweep)
+	points, err := parallel.Map(len(kernels)*perBench, func(i int) (SweepPoint, error) {
+		k := kernels[i/perBench]
+		threads := ThreadSweep[i%perBench]
+		ctas := threads / k.ThreadsPerCTA
+		if ctas < 1 {
+			ctas = 1
+		}
+		shm := ctas * k.SharedBytesPerCTA
+		cfg := config.MemConfig{
+			Design:      config.Partitioned,
+			RFBytes:     occupancy.FullOccupancyRFBytes(k.RegsNeeded),
+			SharedBytes: shm,
+			CacheBytes:  64 << 10,
+			MaxThreads:  threads,
+		}
+		res, err := r.Run(RunSpec{Kernel: k, Config: cfg})
+		pt := SweepPoint{Threads: threads, CapacityKB: shm >> 10}
+		if err != nil {
+			pt.Infeasible = true
+		} else {
+			pt.Perf = res.Performance()
+		}
+		return pt, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return groupSweeps(kernels, points, perBench, func(p SweepPoint) bool {
+		return p.Threads == 1024
+	}), nil
 }
 
 // Figure4Benchmarks are the cache-capacity case studies.
@@ -215,34 +246,31 @@ var Figure4CacheSizes = []int{32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 1
 // registers, unbounded shared memory, lines are thread counts. Normalized
 // to (512 KB cache, 1024 threads).
 func (r *Runner) Figure4() ([]FigureSweep, error) {
-	out := make([]FigureSweep, 0, len(Figure4Benchmarks))
-	for _, name := range Figure4Benchmarks {
-		k, err := workloads.ByName(name)
-		if err != nil {
-			return nil, err
-		}
-		sweep := FigureSweep{Benchmark: name}
-		ref := 0.0
-		for _, threads := range ThreadSweep {
-			for _, cb := range Figure4CacheSizes {
-				cfg := IsolationConfig(k, occupancy.FullOccupancyRFBytes(k.RegsNeeded), cb, threads)
-				res, err := r.Run(RunSpec{Kernel: k, Config: cfg})
-				pt := SweepPoint{Threads: threads, CapacityKB: cb >> 10}
-				if err != nil {
-					pt.Infeasible = true
-				} else {
-					pt.Perf = res.Performance()
-					if threads == 1024 && cb == 512<<10 {
-						ref = pt.Perf
-					}
-				}
-				sweep.Points = append(sweep.Points, pt)
-			}
-		}
-		normalize(sweep.Points, ref)
-		out = append(out, sweep)
+	kernels, err := kernelsByName(Figure4Benchmarks)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	perBench := len(ThreadSweep) * len(Figure4CacheSizes)
+	points, err := parallel.Map(len(kernels)*perBench, func(i int) (SweepPoint, error) {
+		k := kernels[i/perBench]
+		threads := ThreadSweep[i%perBench/len(Figure4CacheSizes)]
+		cb := Figure4CacheSizes[i%len(Figure4CacheSizes)]
+		cfg := IsolationConfig(k, occupancy.FullOccupancyRFBytes(k.RegsNeeded), cb, threads)
+		res, err := r.Run(RunSpec{Kernel: k, Config: cfg})
+		pt := SweepPoint{Threads: threads, CapacityKB: cb >> 10}
+		if err != nil {
+			pt.Infeasible = true
+		} else {
+			pt.Perf = res.Performance()
+		}
+		return pt, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return groupSweeps(kernels, points, perBench, func(p SweepPoint) bool {
+		return p.Threads == 1024 && p.CapacityKB == 512
+	}), nil
 }
 
 // normalize rescales sweep points by the reference performance.
@@ -331,15 +359,9 @@ func (r *Runner) Figure10() ([]Comparison, error) {
 
 func (r *Runner) compareAll(ks []*workloads.Kernel, total int,
 	f func(*Runner, *workloads.Kernel, int) (Comparison, error)) ([]Comparison, error) {
-	out := make([]Comparison, 0, len(ks))
-	for _, k := range ks {
-		c, err := f(r, k, total)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, c)
-	}
-	return out, nil
+	return parallel.Map(len(ks), func(i int) (Comparison, error) {
+		return f(r, ks[i], total)
+	})
 }
 
 // Figure8Row is one benchmark's chosen partitioning of the 384 KB unified
@@ -377,12 +399,16 @@ type Table5Row struct {
 }
 
 // Table5 aggregates the per-instruction maximum-bank-accesses histogram
-// across the Figure 7 benchmarks for both designs.
+// across the Figure 7 benchmarks for both designs. The (design, kernel)
+// runs form one flat parallel batch; aggregation stays in kernel order.
 func (r *Runner) Table5() ([2]Table5Row, error) {
 	var out [2]Table5Row
-	for i, design := range []config.Design{config.Partitioned, config.Unified} {
-		var agg stats.Counters
-		for _, k := range workloads.NoBenefitSet() {
+	designs := []config.Design{config.Partitioned, config.Unified}
+	kernels := workloads.NoBenefitSet()
+	fracs, err := parallel.Map(len(designs)*len(kernels),
+		func(i int) ([stats.ConflictBuckets]float64, error) {
+			design := designs[i/len(kernels)]
+			k := kernels[i%len(kernels)]
 			var res *Result
 			var err error
 			if design == config.Partitioned {
@@ -390,14 +416,21 @@ func (r *Runner) Table5() ([2]Table5Row, error) {
 			} else {
 				cfg, aerr := config.Allocate(k.Requirements(), config.BaselineTotalBytes, 0)
 				if aerr != nil {
-					return out, aerr
+					return [stats.ConflictBuckets]float64{}, aerr
 				}
 				res, err = r.Run(RunSpec{Kernel: k, Config: cfg})
 			}
 			if err != nil {
-				return out, err
+				return [stats.ConflictBuckets]float64{}, err
 			}
-			frac := res.Counters.ConflictFractions()
+			return res.Counters.ConflictFractions(), nil
+		})
+	if err != nil {
+		return out, err
+	}
+	for i, design := range designs {
+		var agg stats.Counters
+		for _, frac := range fracs[i*len(kernels) : (i+1)*len(kernels)] {
 			for b := range frac {
 				// Weight benchmarks equally, as the paper averages.
 				agg.ConflictHist[b] += int64(frac[b] * 1e6)
@@ -431,14 +464,26 @@ type Table6Row struct {
 }
 
 // Table6 evaluates unified-memory capacity sensitivity for the benefit
-// set plus an average row for the Figure 7 set.
+// set plus an average row for the Figure 7 set. Rows are independent and
+// run in parallel; within a row the geomean products keep kernel order so
+// the floating-point result is identical to the serial loop's.
 func (r *Runner) Table6() ([]Table6Row, error) {
-	rows := make([]Table6Row, 0, 9)
-	addRow := func(ks []*workloads.Kernel, label string) error {
-		row := Table6Row{Benchmark: label}
+	type rowSpec struct {
+		label   string
+		kernels []*workloads.Kernel
+	}
+	var specs []rowSpec
+	for _, k := range workloads.BenefitSet() {
+		specs = append(specs, rowSpec{k.Name, []*workloads.Kernel{k}})
+	}
+	specs = append(specs,
+		rowSpec{"average (benefit)", workloads.BenefitSet()},
+		rowSpec{"figure-7 set (average)", workloads.NoBenefitSet()})
+	return parallel.Map(len(specs), func(s int) (Table6Row, error) {
+		row := Table6Row{Benchmark: specs[s].label}
 		for i, total := range Table6Capacities {
 			perfProd, energyProd, n := 1.0, 1.0, 0
-			for _, k := range ks {
+			for _, k := range specs[s].kernels {
 				c, err := r.CompareUnified(k, total)
 				if err != nil {
 					row.Infeasible[i] = true
@@ -453,21 +498,8 @@ func (r *Runner) Table6() ([]Table6Row, error) {
 				row.Energy[i] = geomean(energyProd, n)
 			}
 		}
-		rows = append(rows, row)
-		return nil
-	}
-	for _, k := range workloads.BenefitSet() {
-		if err := addRow([]*workloads.Kernel{k}, k.Name); err != nil {
-			return nil, err
-		}
-	}
-	if err := addRow(workloads.BenefitSet(), "average (benefit)"); err != nil {
-		return nil, err
-	}
-	if err := addRow(workloads.NoBenefitSet(), "figure-7 set (average)"); err != nil {
-		return nil, err
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 func geomean(prod float64, n int) float64 {
@@ -494,34 +526,53 @@ var Figure11BlockingFactors = []int{16, 32, 64}
 // capacity each point requires. Performance is normalized to the best
 // point observed (the paper normalizes to its largest configuration).
 func (r *Runner) Figure11() ([]FigureSweep, error) {
-	best := 0.0
-	sweeps := make([]FigureSweep, 0, len(Figure11BlockingFactors))
-	for _, bf := range Figure11BlockingFactors {
+	// The thread axis depends on each variant's CTA size, so enumerate the
+	// (kernel, threads) jobs first, then run them as one parallel batch.
+	type job struct {
+		k       *workloads.Kernel
+		sweep   int
+		threads int
+	}
+	var jobs []job
+	sweeps := make([]FigureSweep, len(Figure11BlockingFactors))
+	for i, bf := range Figure11BlockingFactors {
 		k := workloads.NeedleKernel(bf)
-		sweep := FigureSweep{Benchmark: fmt.Sprintf("needle BF=%d", bf)}
+		sweeps[i].Benchmark = fmt.Sprintf("needle BF=%d", bf)
 		for threads := k.ThreadsPerCTA; threads <= config.MaxThreadsPerSM; threads += 2 * k.ThreadsPerCTA {
-			ctas := threads / k.ThreadsPerCTA
-			shm := ctas * k.SharedBytesPerCTA
-			cfg := config.MemConfig{
-				Design:      config.Partitioned,
-				RFBytes:     occupancy.FullOccupancyRFBytes(k.RegsNeeded),
-				SharedBytes: shm,
-				CacheBytes:  64 << 10,
-				MaxThreads:  threads,
-			}
-			res, err := r.Run(RunSpec{Kernel: k, Config: cfg})
-			pt := SweepPoint{Regs: bf, Threads: threads, CapacityKB: shm >> 10}
-			if err != nil {
-				pt.Infeasible = true
-			} else {
-				pt.Perf = res.Performance()
-				if pt.Perf > best {
-					best = pt.Perf
-				}
-			}
-			sweep.Points = append(sweep.Points, pt)
+			jobs = append(jobs, job{k: k, sweep: i, threads: threads})
 		}
-		sweeps = append(sweeps, sweep)
+	}
+	points, err := parallel.Map(len(jobs), func(i int) (SweepPoint, error) {
+		j := jobs[i]
+		ctas := j.threads / j.k.ThreadsPerCTA
+		shm := ctas * j.k.SharedBytesPerCTA
+		cfg := config.MemConfig{
+			Design:      config.Partitioned,
+			RFBytes:     occupancy.FullOccupancyRFBytes(j.k.RegsNeeded),
+			SharedBytes: shm,
+			CacheBytes:  64 << 10,
+			MaxThreads:  j.threads,
+		}
+		res, err := r.Run(RunSpec{Kernel: j.k, Config: cfg})
+		pt := SweepPoint{Regs: j.k.BF, Threads: j.threads, CapacityKB: shm >> 10}
+		if err != nil {
+			pt.Infeasible = true
+		} else {
+			pt.Perf = res.Performance()
+		}
+		return pt, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	best := 0.0
+	for _, pt := range points {
+		if !pt.Infeasible && pt.Perf > best {
+			best = pt.Perf
+		}
+	}
+	for i, pt := range points {
+		sweeps[jobs[i].sweep].Points = append(sweeps[jobs[i].sweep].Points, pt)
 	}
 	for i := range sweeps {
 		normalize(sweeps[i].Points, best)

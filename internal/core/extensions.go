@@ -7,6 +7,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/isa"
 	"repro/internal/occupancy"
+	"repro/internal/parallel"
 	"repro/internal/sm"
 	"repro/internal/workloads"
 )
@@ -94,30 +95,29 @@ type ScatterAblation struct {
 // against the Section 4.2 aggressive variant for the given kernels, each
 // under its Section 4.5 allocation.
 func (r *Runner) AblateScatter(kernels []*workloads.Kernel) ([]ScatterAblation, error) {
-	out := make([]ScatterAblation, 0, len(kernels))
-	for _, k := range kernels {
+	return parallel.Map(len(kernels), func(i int) (ScatterAblation, error) {
+		k := kernels[i]
 		cfg, err := config.Allocate(k.Requirements(), config.BaselineTotalBytes, 0)
 		if err != nil {
-			return nil, err
+			return ScatterAblation{}, err
 		}
 		simple, err := r.Run(RunSpec{Kernel: k, Config: cfg})
 		if err != nil {
-			return nil, err
+			return ScatterAblation{}, err
 		}
 		agg := NewRunner()
 		agg.Params.AggressiveScatter = true
 		aggRes, err := agg.Run(RunSpec{Kernel: k, Config: cfg})
 		if err != nil {
-			return nil, err
+			return ScatterAblation{}, err
 		}
-		out = append(out, ScatterAblation{
+		return ScatterAblation{
 			Benchmark:                k.Name,
 			Speedup:                  float64(simple.Counters.Cycles) / float64(aggRes.Counters.Cycles),
 			ConflictCyclesSimple:     simple.Counters.ConflictCycles,
 			ConflictCyclesAggressive: aggRes.Counters.ConflictCycles,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // PowerGatingRow reports the Section 8 extension: after the §4.5
@@ -138,19 +138,19 @@ type PowerGatingRow struct {
 // leakage — profitable exactly for the workloads whose working set the
 // baseline cache already captures.
 func (r *Runner) PowerGating(kernels []*workloads.Kernel) ([]PowerGatingRow, error) {
-	out := make([]PowerGatingRow, 0, len(kernels))
-	for _, k := range kernels {
+	return parallel.Map(len(kernels), func(i int) (PowerGatingRow, error) {
+		k := kernels[i]
 		base, err := r.Baseline(k)
 		if err != nil {
-			return nil, err
+			return PowerGatingRow{}, err
 		}
 		full, err := r.CompareUnified(k, config.BaselineTotalBytes)
 		if err != nil {
-			return nil, err
+			return PowerGatingRow{}, err
 		}
 		cfg, err := config.Allocate(k.Requirements(), config.BaselineTotalBytes, 0)
 		if err != nil {
-			return nil, err
+			return PowerGatingRow{}, err
 		}
 		if cfg.CacheBytes > config.BaselineCacheBytes {
 			// Gate everything beyond a baseline-sized cache: the
@@ -159,17 +159,16 @@ func (r *Runner) PowerGating(kernels []*workloads.Kernel) ([]PowerGatingRow, err
 		}
 		gated, err := r.Run(RunSpec{Kernel: k, Config: cfg})
 		if err != nil {
-			return nil, err
+			return PowerGatingRow{}, err
 		}
-		out = append(out, PowerGatingRow{
+		return PowerGatingRow{
 			Benchmark:   k.Name,
 			FullPerf:    full.PerfRatio,
 			FullEnergy:  full.EnergyRatio,
 			GatedPerf:   float64(base.Counters.Cycles) / float64(gated.Counters.Cycles),
 			GatedEnergy: gated.Energy.Total() / base.Energy.Total(),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // MethodologyRow compares the paper's single-SM methodology against a
@@ -203,12 +202,13 @@ func (r *replicatedSource) WarpTrace(cta, warp int) []isa.WarpInst {
 
 // ValidateMethodology runs each kernel both ways and reports the per-SM
 // runtime deviation of the full-chip simulation from the single-SM one.
+// Each kernel's chip simulation is an independent parallel work item.
 func (r *Runner) ValidateMethodology(kernels []*workloads.Kernel, nSMs int) ([]MethodologyRow, error) {
-	out := make([]MethodologyRow, 0, len(kernels))
-	for _, k := range kernels {
+	return parallel.Map(len(kernels), func(i int) (MethodologyRow, error) {
+		k := kernels[i]
 		single, err := r.Baseline(k)
 		if err != nil {
-			return nil, err
+			return MethodologyRow{}, err
 		}
 		occ := occupancy.Compute(k.Requirements(), config.Baseline(), 0)
 		src := &workloads.Source{K: k, Seed: r.Seed}
@@ -216,11 +216,11 @@ func (r *Runner) ValidateMethodology(kernels []*workloads.Kernel, nSMs int) ([]M
 		rep := &replicatedSource{src: src, ctas: k.GridCTAs, warps: warps, factor: nSMs}
 		machine, err := chip.New(chip.Config{NumSMs: nSMs}, config.Baseline(), r.Params, rep, occ.CTAs)
 		if err != nil {
-			return nil, fmt.Errorf("validate %s: %w", k.Name, err)
+			return MethodologyRow{}, fmt.Errorf("validate %s: %w", k.Name, err)
 		}
 		res, err := machine.Run()
 		if err != nil {
-			return nil, fmt.Errorf("validate %s: %w", k.Name, err)
+			return MethodologyRow{}, fmt.Errorf("validate %s: %w", k.Name, err)
 		}
 		mean := 0.0
 		for _, c := range res.PerSM {
@@ -236,9 +236,8 @@ func (r *Runner) ValidateMethodology(kernels []*workloads.Kernel, nSMs int) ([]M
 		if row.Deviation < 0 {
 			row.Deviation = -row.Deviation
 		}
-		out = append(out, row)
-	}
-	return out, nil
+		return row, nil
+	})
 }
 
 // WritePolicyRow compares the paper's write-through no-write-allocate
@@ -257,28 +256,29 @@ type WritePolicyRow struct {
 	DirtyFlushLines int
 }
 
-// AblateWritePolicy runs each kernel under both write policies.
+// AblateWritePolicy runs each kernel under both write policies. The
+// write-back Runner is shared across the parallel items; its baseline
+// cache serializes internally.
 func (r *Runner) AblateWritePolicy(kernels []*workloads.Kernel) ([]WritePolicyRow, error) {
-	out := make([]WritePolicyRow, 0, len(kernels))
 	wb := NewRunner()
 	wb.Params.WriteBackCache = true
-	for _, k := range kernels {
+	return parallel.Map(len(kernels), func(i int) (WritePolicyRow, error) {
+		k := kernels[i]
 		wt, err := r.Baseline(k)
 		if err != nil {
-			return nil, err
+			return WritePolicyRow{}, err
 		}
 		wbRes, err := wb.Baseline(k)
 		if err != nil {
-			return nil, err
+			return WritePolicyRow{}, err
 		}
-		out = append(out, WritePolicyRow{
+		return WritePolicyRow{
 			Benchmark:       k.Name,
 			PerfRatio:       float64(wt.Counters.Cycles) / float64(wbRes.Counters.Cycles),
 			DRAMRatio:       float64(wbRes.Counters.DRAMBytes()) / float64(wt.Counters.DRAMBytes()),
 			DirtyFlushLines: wbRes.Counters.DirtyLinesEnd,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // SchedulerAblation reports performance across active-set sizes of the
@@ -295,19 +295,27 @@ type SchedulerAblation struct {
 // SchedulerActiveSizes are the swept active-set sizes.
 var SchedulerActiveSizes = []int{4, 8, 16, 32}
 
-// AblateScheduler sweeps the active-set size under the baseline design.
+// AblateScheduler sweeps the active-set size under the baseline design,
+// running every (kernel, active-set size) cell as one parallel work item.
 func (r *Runner) AblateScheduler(kernels []*workloads.Kernel) ([]SchedulerAblation, error) {
+	cells, err := parallel.Map(len(kernels)*len(SchedulerActiveSizes), func(i int) (int64, error) {
+		k := kernels[i/len(SchedulerActiveSizes)]
+		rr := NewRunner()
+		rr.Params.ActiveWarps = SchedulerActiveSizes[i%len(SchedulerActiveSizes)]
+		res, err := rr.Run(RunSpec{Kernel: k, Config: config.Baseline()})
+		if err != nil {
+			return 0, err
+		}
+		return res.Counters.Cycles, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	out := make([]SchedulerAblation, 0, len(kernels))
-	for _, k := range kernels {
+	for i, k := range kernels {
 		row := SchedulerAblation{Benchmark: k.Name, CyclesByActive: make(map[int]int64)}
-		for _, n := range SchedulerActiveSizes {
-			rr := NewRunner()
-			rr.Params.ActiveWarps = n
-			res, err := rr.Run(RunSpec{Kernel: k, Config: config.Baseline()})
-			if err != nil {
-				return nil, err
-			}
-			row.CyclesByActive[n] = res.Counters.Cycles
+		for j, n := range SchedulerActiveSizes {
+			row.CyclesByActive[n] = cells[i*len(SchedulerActiveSizes)+j]
 		}
 		out = append(out, row)
 	}

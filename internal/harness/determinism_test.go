@@ -1,0 +1,102 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/internal/workloads"
+)
+
+// TestParallelMatchesSerial proves the execution engine never changes
+// results: a representative experiment (figure7, which exercises baseline
+// caching, the §4.5 allocator, and the energy model) is regenerated with
+// 1 worker (the exact serial path) and with 8, and both the rendered
+// table and the underlying simulation counters must be identical.
+func TestParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("determinism check skipped in -short mode")
+	}
+	type outcome struct {
+		table    string
+		comps    []core.Comparison
+		counters map[string]int64 // baseline cycles per kernel
+	}
+	runAt := func(workers int) outcome {
+		parallel.SetWorkers(workers)
+		defer parallel.SetWorkers(0)
+		r := core.NewRunner()
+		tab, err := Figure7(r)
+		if err != nil {
+			t.Fatalf("j=%d: %v", workers, err)
+		}
+		comps, err := r.Figure7()
+		if err != nil {
+			t.Fatalf("j=%d: %v", workers, err)
+		}
+		counters := make(map[string]int64)
+		for _, k := range workloads.NoBenefitSet() {
+			base, err := r.Baseline(k)
+			if err != nil {
+				t.Fatalf("j=%d: baseline %s: %v", workers, k.Name, err)
+			}
+			counters[k.Name] = base.Counters.Cycles
+		}
+		return outcome{table: tab.String(), comps: comps, counters: counters}
+	}
+
+	serial := runAt(1)
+	par := runAt(8)
+
+	if serial.table != par.table {
+		t.Errorf("rendered tables differ between -j 1 and -j 8:\n--- j=1 ---\n%s--- j=8 ---\n%s",
+			serial.table, par.table)
+	}
+	if !reflect.DeepEqual(serial.comps, par.comps) {
+		t.Errorf("comparison results differ between -j 1 and -j 8:\nj=1: %+v\nj=8: %+v",
+			serial.comps, par.comps)
+	}
+	if !reflect.DeepEqual(serial.counters, par.counters) {
+		t.Errorf("baseline counters differ between -j 1 and -j 8:\nj=1: %v\nj=8: %v",
+			serial.counters, par.counters)
+	}
+}
+
+// TestParallelMatchesSerialCounters checks full counter equality (every
+// field, not just cycles) for one kernel's baseline produced inside a
+// parallel experiment versus a direct serial run.
+func TestParallelMatchesSerialCounters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("determinism check skipped in -short mode")
+	}
+	k, err := workloads.ByName("vectoradd")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parallel.SetWorkers(1)
+	serialRunner := core.NewRunner()
+	serial, err := serialRunner.Baseline(k)
+	parallel.SetWorkers(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parallel.SetWorkers(8)
+	defer parallel.SetWorkers(0)
+	parRunner := core.NewRunner()
+	if _, err := parRunner.Table1([]*workloads.Kernel{k}); err != nil {
+		t.Fatal(err)
+	}
+	par, err := parRunner.Baseline(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Counters, par.Counters) {
+		t.Errorf("counters differ:\nserial: %+v\nparallel: %+v", serial.Counters, par.Counters)
+	}
+	if serial.Energy.Total() != par.Energy.Total() {
+		t.Errorf("energy differs: serial %v, parallel %v", serial.Energy.Total(), par.Energy.Total())
+	}
+}

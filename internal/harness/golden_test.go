@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// update rewrites the golden files instead of comparing against them:
+//
+//	go test ./internal/harness -run TestGoldenTables -update
+var update = flag.Bool("update", false, "rewrite testdata/golden from current output")
+
+// renderAll regenerates every experiment exactly once per test binary,
+// sharing one Runner so baselines are cached across experiments the same
+// way cmd/paper runs them. Both the golden comparison and the render
+// sanity checks consume this.
+var renderAll = sync.OnceValues(func() (map[string]string, error) {
+	r := core.NewRunner()
+	out := make(map[string]string, len(Experiments))
+	for _, name := range Experiments {
+		tab, err := Run(r, name)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		out[name] = tab.String()
+	}
+	return out, nil
+})
+
+// goldenPath returns the committed rendering of one experiment.
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden", name+".txt")
+}
+
+// TestGoldenTables pins the paper's entire result surface: the rendered
+// output of all 14 experiments must match the committed golden files
+// byte for byte. Run with -update after an intentional model change and
+// review the diff like any other code change.
+func TestGoldenTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment regeneration skipped in -short mode")
+	}
+	rendered, err := renderAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		if err := os.MkdirAll(filepath.Join("testdata", "golden"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range Experiments {
+		t.Run(name, func(t *testing.T) {
+			got := rendered[name]
+			path := goldenPath(name)
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s output diverged from %s (regenerate with -update if intentional)\n--- got ---\n%s--- want ---\n%s",
+					name, path, got, want)
+			}
+		})
+	}
+}

@@ -22,21 +22,20 @@ func TestTable4RendersPublishedValues(t *testing.T) {
 	}
 }
 
-// TestEveryExperimentRenders regenerates each experiment once and checks
-// the output is a non-trivial table. This is the end-to-end test of the
-// whole reproduction pipeline; it takes tens of seconds.
+// TestEveryExperimentRenders checks each experiment's output is a
+// non-trivial table. It shares the once-per-binary rendering with
+// TestGoldenTables, so the full pipeline regenerates only once per test
+// run; it still takes tens of seconds.
 func TestEveryExperimentRenders(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment regeneration skipped in -short mode")
 	}
-	r := core.NewRunner() // shared: baselines are cached across experiments
+	rendered, err := renderAll()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, name := range Experiments {
-		tab, err := Run(r, name)
-		if err != nil {
-			t.Errorf("%s: %v", name, err)
-			continue
-		}
-		out := tab.String()
+		out := rendered[name]
 		if lines := strings.Count(out, "\n"); lines < 4 {
 			t.Errorf("%s: suspiciously small table (%d lines)", name, lines)
 		}

@@ -621,11 +621,13 @@ func (s *SM) globalLoad(wi *isa.WarpInst, extra int64) int64 {
 			}
 			if s.params.MaxMSHRs > 0 && len(s.pending) >= s.params.MaxMSHRs {
 				// All miss entries in flight: the probe stalls until the
-				// earliest outstanding fill returns.
+				// earliest outstanding fill returns. Ties on the ready
+				// cycle break by line number so the choice never depends
+				// on map iteration order (runs must be bit-reproducible).
 				earliest := int64(1 << 62)
 				var oldest uint32
 				for l, done := range s.pending {
-					if done < earliest {
+					if done < earliest || (done == earliest && l < oldest) {
 						earliest, oldest = done, l
 					}
 				}
