@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -38,7 +39,7 @@ func replayTrace(path string, cfg config.MemConfig, residentCTAs int) {
 		fmt.Fprintln(os.Stderr, "smsim:", err)
 		os.Exit(1)
 	}
-	simulator, err := sm.New(cfg, sm.DefaultParams(), tr, residentCTAs)
+	simulator, err := sm.NewSM(sm.Spec{Config: cfg, Params: sm.DefaultParams(), Source: tr, ResidentCTAs: residentCTAs})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "smsim:", err)
 		os.Exit(1)
@@ -150,6 +151,13 @@ func main() {
 // runAndReport executes the kernel and prints the full report.
 func runAndReport(r *core.Runner, k *workloads.Kernel, cfg config.MemConfig, regs int) {
 	res, err := r.Run(core.RunSpec{Kernel: k, Config: cfg, RegsPerThread: regs})
+	var fit *core.FitError
+	if errors.As(err, &fit) {
+		fmt.Fprintf(os.Stderr, "smsim: %s cannot achieve residency of one CTA under %v: the binding resource is %v\n",
+			fit.Kernel, fit.Config, fit.Limiter)
+		fmt.Fprintln(os.Stderr, "smsim: raise that capacity (-rf/-shm/-cache/-total) or lower -regs/-threads")
+		os.Exit(1)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "smsim:", err)
 		os.Exit(1)

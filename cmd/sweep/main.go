@@ -102,8 +102,11 @@ func main() {
 			cfg.CacheBytes = kb << 10
 		}
 		res, err := r.Run(core.RunSpec{Kernel: k, Config: cfg})
-		if err != nil {
+		if core.IsInfeasible(err) {
 			return []string{fmt.Sprintf("%dK", kb), "-", "infeasible", "-", "-", "-"}, nil
+		}
+		if err != nil {
+			return nil, err
 		}
 		return []string{fmt.Sprintf("%dK", kb), fmt.Sprint(res.Occupancy.Threads),
 			fmt.Sprint(res.Counters.Cycles), fmt.Sprintf("%.3f", res.Counters.IPC()),

@@ -10,6 +10,7 @@
 package autotune
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/config"
@@ -98,8 +99,11 @@ func Tune(r *core.Runner, k *workloads.Kernel, totalBytes int, obj Objective) (*
 			req := k.Requirements()
 			req.RegsPerThread = regs
 			cfg, err := config.Allocate(req, totalBytes, threads)
-			if err != nil {
+			if errors.Is(err, config.ErrDoesNotFit) {
 				continue // this point does not fit; skip it
+			}
+			if err != nil {
+				return nil, fmt.Errorf("autotune: %s at %d threads: %w", k.Name, threads, err)
 			}
 			points = append(points, point{threads: threads, regs: regs, cfg: cfg})
 		}
@@ -107,8 +111,11 @@ func Tune(r *core.Runner, k *workloads.Kernel, totalBytes int, obj Objective) (*
 	cands, err := parallel.Map(len(points), func(i int) (Candidate, error) {
 		p := points[i]
 		res, err := r.Run(core.RunSpec{Kernel: k, Config: p.cfg, RegsPerThread: p.regs})
-		if err != nil {
+		if core.IsInfeasible(err) {
 			return Candidate{}, nil // infeasible at runtime; dropped below
+		}
+		if err != nil {
+			return Candidate{}, err
 		}
 		return Candidate{Threads: res.Occupancy.Threads, Regs: p.regs, Config: p.cfg, Result: res}, nil
 	})

@@ -142,6 +142,25 @@ func (m *Model) Evaluate(wi *isa.WarpInst) Outcome {
 	return out
 }
 
+// HeatInto adds the bank footprint of the most recently Evaluated
+// instruction to the per-bank access and conflict accumulators (the
+// observability layer's heatmap). A bank's conflict count is the
+// serialized accesses beyond its first in one instruction. Must be
+// called after Evaluate and before the next one; it performs no
+// allocation.
+func (m *Model) HeatInto(access, conflict *[config.NumBanks]int64) {
+	for b := range m.bankReg {
+		n := int64(m.bankReg[b]) + int64(m.bankMem[b])
+		if n == 0 {
+			continue
+		}
+		access[b] += n
+		if n > 1 {
+			conflict[b] += n - 1
+		}
+	}
+}
+
 // addShared files the shared-memory accesses of the instruction and
 // returns the number of distinct bank granules touched.
 //

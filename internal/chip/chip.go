@@ -104,7 +104,10 @@ func New(cfg Config, memCfg config.MemConfig, params sm.Params, src TraceSource,
 			share++
 		}
 		shard := &shardSource{src: src, smIndex: i, nSM: cfg.NumSMs, ctas: share, warps: warps}
-		m, err := sm.NewWithMemory(memCfg, params, shard, residentCTAs, c.mem)
+		m, err := sm.NewSM(sm.Spec{
+			Config: memCfg, Params: params, Source: shard,
+			ResidentCTAs: residentCTAs, Memory: c.mem,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("chip: SM %d: %w", i, err)
 		}

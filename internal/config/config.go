@@ -9,6 +9,12 @@ import (
 	"fmt"
 )
 
+// ErrDoesNotFit marks allocation failures in which a kernel cannot fit
+// even one CTA in the available capacity. Allocate wraps it into its
+// errors, and core.FitError matches it, so errors.Is(err, ErrDoesNotFit)
+// is the single infeasibility test across the stack.
+var ErrDoesNotFit = errors.New("kernel does not fit the available capacity")
+
 // Machine constants shared by all designs (Table 2 of the paper).
 const (
 	// NumBanks is the number of local-memory banks per SM. Both the
@@ -198,12 +204,13 @@ func Allocate(req KernelRequirements, totalBytes, threadCap int) (MemConfig, err
 	}
 	perCTABytes := req.BytesPerThread()*req.ThreadsPerCTA + req.SharedBytesPerCTA
 	if perCTABytes > totalBytes {
-		return MemConfig{}, fmt.Errorf("config: one CTA needs %d bytes, unified memory has %d",
-			perCTABytes, totalBytes)
+		return MemConfig{}, fmt.Errorf("config: one CTA needs %d bytes, unified memory has %d: %w",
+			perCTABytes, totalBytes, ErrDoesNotFit)
 	}
 	maxCTAs := limit / req.ThreadsPerCTA
 	if maxCTAs < 1 {
-		return MemConfig{}, fmt.Errorf("config: CTA size %d exceeds thread limit %d", req.ThreadsPerCTA, limit)
+		return MemConfig{}, fmt.Errorf("config: CTA size %d exceeds thread limit %d: %w",
+			req.ThreadsPerCTA, limit, ErrDoesNotFit)
 	}
 	if byCapacity := totalBytes / perCTABytes; byCapacity < maxCTAs {
 		maxCTAs = byCapacity

@@ -8,6 +8,29 @@
 //	r := core.NewRunner()
 //	res, err := r.Run(core.RunSpec{Kernel: k, Config: config.Baseline()})
 //	fmt.Println(res.Counters.Cycles, res.Energy.Total())
+//
+// Run accepts options; WithProbe attaches the internal/probe
+// observability layer to a run:
+//
+//	p := probe.New(0, nil)
+//	res, err := r.Run(spec, core.WithProbe(p))
+//
+// # Metrics: absolute versus ratio-only
+//
+// Absolute metrics are meaningful on their own for a single run:
+// Result.IPC (thread instructions per cycle), Counters.Cycles,
+// Counters.IPC (warp instructions per cycle), DRAM bytes, and every raw
+// event count.
+//
+// Ratio-only metrics carry meaning only when divided by the same metric
+// of another run: Result.Performance (reciprocal runtime — the paper
+// normalizes every performance figure to the baseline partitioned
+// configuration), and the Comparison fields PerfRatio, EnergyRatio, and
+// DRAMRatio (already normalized to the kernel's baseline run).
+//
+// Runs that cannot achieve residency fail with a *FitError (and nil
+// kernels with ErrKernelNil); use errors.As / errors.Is, or
+// IsInfeasible for the common sweep-point check.
 package core
 
 import (
@@ -17,6 +40,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/energy"
 	"repro/internal/occupancy"
+	"repro/internal/probe"
 	"repro/internal/sm"
 	"repro/internal/stats"
 	"repro/internal/workloads"
@@ -49,12 +73,34 @@ type Result struct {
 }
 
 // Performance returns the run's performance metric (reciprocal runtime;
-// only ratios of this value are meaningful).
+// only ratios of this value are meaningful — see the package comment).
 func (r *Result) Performance() float64 {
 	if r.Counters.Cycles == 0 {
 		return 0
 	}
 	return 1 / float64(r.Counters.Cycles)
+}
+
+// IPC returns thread instructions retired per cycle — an absolute
+// throughput metric (peak is the SM's 32 lanes), unlike the ratio-only
+// Performance. Counters.IPC is the warp-granular variant.
+func (r *Result) IPC() float64 {
+	return r.Counters.ThreadIPC()
+}
+
+// RunOption configures one Run call.
+type RunOption func(*runOptions)
+
+type runOptions struct {
+	probe *probe.Probe
+}
+
+// WithProbe attaches a cycle-level observability probe to the run. The
+// probe observes exactly one SM run; attach a fresh one per call when
+// fanning runs out in parallel. Probes are passive: a probed run's
+// Counters are identical to an unprobed one's.
+func WithProbe(p *probe.Probe) RunOption {
+	return func(o *runOptions) { o.probe = p }
 }
 
 // Runner executes runs and caches the per-benchmark baseline needed for
@@ -94,10 +140,16 @@ func NewRunner() *Runner {
 	}
 }
 
-// Run simulates one spec to completion.
-func (r *Runner) Run(spec RunSpec) (*Result, error) {
+// Run simulates one spec to completion. Options modify the single call:
+// WithProbe attaches an observability probe. A kernel that cannot fit
+// the configuration fails with a *FitError.
+func (r *Runner) Run(spec RunSpec, opts ...RunOption) (*Result, error) {
+	var o runOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
 	if spec.Kernel == nil {
-		return nil, fmt.Errorf("core: RunSpec.Kernel is nil")
+		return nil, ErrKernelNil
 	}
 	if spec.Seed == 0 {
 		spec.Seed = r.Seed
@@ -108,15 +160,26 @@ func (r *Runner) Run(spec RunSpec) (*Result, error) {
 	}
 	occ := occupancy.Compute(spec.Kernel.Requirements(), spec.Config, regs)
 	if occ.CTAs < 1 {
-		return nil, fmt.Errorf("core: %s does not fit %v (limiter %v)",
-			spec.Kernel.Name, spec.Config, occ.Limiter)
+		return nil, &FitError{Kernel: spec.Kernel.Name, Config: spec.Config, Limiter: occ.Limiter}
 	}
 	regsAvail := 0
 	if regs < spec.Kernel.RegsNeeded {
 		regsAvail = regs
 	}
+	if o.probe != nil {
+		o.probe.Annotate("kernel", spec.Kernel.Name)
+		o.probe.Annotate("config", spec.Config.String())
+		o.probe.Annotate("regs", fmt.Sprint(regs))
+		o.probe.Annotate("threads", fmt.Sprint(occ.Threads))
+	}
 	src := &workloads.Source{K: spec.Kernel, RegsAvail: regsAvail, Seed: spec.Seed}
-	machine, err := sm.New(spec.Config, r.Params, src, occ.CTAs)
+	machine, err := sm.NewSM(sm.Spec{
+		Config:       spec.Config,
+		Params:       r.Params,
+		Source:       src,
+		ResidentCTAs: occ.CTAs,
+		Probe:        o.probe,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("core: %s under %v: %w", spec.Kernel.Name, spec.Config, err)
 	}

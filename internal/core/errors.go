@@ -1,0 +1,43 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/occupancy"
+)
+
+// ErrKernelNil reports a RunSpec with no kernel. Test with errors.Is.
+var ErrKernelNil = errors.New("core: RunSpec.Kernel is nil")
+
+// FitError reports that a kernel cannot achieve residency of even one
+// CTA under a configuration. Retrieve it with errors.As to read which
+// resource was the limiter; IsInfeasible covers the common
+// "skip this point" check.
+type FitError struct {
+	// Kernel is the workload's name.
+	Kernel string
+	// Config is the configuration the kernel did not fit.
+	Config config.MemConfig
+	// Limiter names the resource that bounded residency below one CTA.
+	Limiter occupancy.Limiter
+}
+
+// Error describes the failure.
+func (e *FitError) Error() string {
+	return fmt.Sprintf("core: %s does not fit %v (limiter %v)", e.Kernel, e.Config, e.Limiter)
+}
+
+// Is makes errors.Is(err, config.ErrDoesNotFit) match run-level fit
+// failures too, so callers need one check for both allocation-time
+// (config.Allocate) and run-time (core.Run) infeasibility.
+func (e *FitError) Is(target error) bool { return target == config.ErrDoesNotFit }
+
+// IsInfeasible reports whether err means a kernel/configuration pair
+// cannot run at all — a core.FitError from Run or a does-not-fit
+// failure from config.Allocate — as opposed to a simulation failure.
+// Sweep drivers skip infeasible points and propagate everything else.
+func IsInfeasible(err error) bool {
+	return errors.Is(err, config.ErrDoesNotFit)
+}

@@ -143,9 +143,12 @@ func (r *Runner) Figure2() ([]FigureSweep, error) {
 		cfg := IsolationConfig(k, rf, 64<<10, threads)
 		res, err := r.Run(RunSpec{Kernel: k, Config: cfg, RegsPerThread: eff})
 		pt := SweepPoint{Regs: regs, Threads: threads, CapacityKB: rf >> 10}
-		if err != nil {
+		switch {
+		case IsInfeasible(err):
 			pt.Infeasible = true
-		} else {
+		case err != nil:
+			return pt, err
+		default:
 			pt.Perf = res.Performance()
 		}
 		return pt, nil
@@ -221,9 +224,12 @@ func (r *Runner) Figure3() ([]FigureSweep, error) {
 		}
 		res, err := r.Run(RunSpec{Kernel: k, Config: cfg})
 		pt := SweepPoint{Threads: threads, CapacityKB: shm >> 10}
-		if err != nil {
+		switch {
+		case IsInfeasible(err):
 			pt.Infeasible = true
-		} else {
+		case err != nil:
+			return pt, err
+		default:
 			pt.Perf = res.Performance()
 		}
 		return pt, nil
@@ -258,9 +264,12 @@ func (r *Runner) Figure4() ([]FigureSweep, error) {
 		cfg := IsolationConfig(k, occupancy.FullOccupancyRFBytes(k.RegsNeeded), cb, threads)
 		res, err := r.Run(RunSpec{Kernel: k, Config: cfg})
 		pt := SweepPoint{Threads: threads, CapacityKB: cb >> 10}
-		if err != nil {
+		switch {
+		case IsInfeasible(err):
 			pt.Infeasible = true
-		} else {
+		case err != nil:
+			return pt, err
+		default:
 			pt.Perf = res.Performance()
 		}
 		return pt, nil
@@ -485,9 +494,12 @@ func (r *Runner) Table6() ([]Table6Row, error) {
 			perfProd, energyProd, n := 1.0, 1.0, 0
 			for _, k := range specs[s].kernels {
 				c, err := r.CompareUnified(k, total)
-				if err != nil {
+				if IsInfeasible(err) {
 					row.Infeasible[i] = true
 					continue
+				}
+				if err != nil {
+					return row, err
 				}
 				perfProd *= c.PerfRatio
 				energyProd *= c.EnergyRatio
@@ -555,9 +567,12 @@ func (r *Runner) Figure11() ([]FigureSweep, error) {
 		}
 		res, err := r.Run(RunSpec{Kernel: j.k, Config: cfg})
 		pt := SweepPoint{Regs: j.k.BF, Threads: j.threads, CapacityKB: shm >> 10}
-		if err != nil {
+		switch {
+		case IsInfeasible(err):
 			pt.Infeasible = true
-		} else {
+		case err != nil:
+			return pt, err
+		default:
 			pt.Perf = res.Performance()
 		}
 		return pt, nil

@@ -1,0 +1,59 @@
+package report
+
+import "strings"
+
+// sparkLevels are the eight block glyphs of a sparkline, lowest first.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders vals as a row of block glyphs, scaled linearly from
+// zero to the maximum value (so bar heights compare magnitudes, not
+// just shape). Negative and NaN values render as spaces; an all-zero
+// series renders as the lowest bar.
+func Sparkline(vals []float64) string {
+	max := 0.0
+	for _, v := range vals {
+		if v == v && v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	b.Grow(3 * len(vals))
+	for _, v := range vals {
+		if v != v || v < 0 {
+			b.WriteByte(' ')
+			continue
+		}
+		lvl := 0
+		if max > 0 {
+			lvl = int(v / max * float64(len(sparkLevels)-1))
+			if lvl >= len(sparkLevels) {
+				lvl = len(sparkLevels) - 1
+			}
+		}
+		b.WriteRune(sparkLevels[lvl])
+	}
+	return b.String()
+}
+
+// Downsample reduces vals to at most width points by averaging equal
+// buckets, for sparklines of long series. It returns vals unchanged
+// when they already fit.
+func Downsample(vals []float64, width int) []float64 {
+	if width <= 0 || len(vals) <= width {
+		return vals
+	}
+	out := make([]float64, width)
+	for i := range out {
+		lo := i * len(vals) / width
+		hi := (i + 1) * len(vals) / width
+		if hi == lo {
+			hi = lo + 1
+		}
+		sum := 0.0
+		for _, v := range vals[lo:hi] {
+			sum += v
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out
+}

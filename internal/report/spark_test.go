@@ -1,0 +1,52 @@
+package report
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestSparkline(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want string
+	}{
+		{"empty", nil, ""},
+		{"scaled from zero", []float64{0, 4, 8}, "▁▄█"},
+		{"all zero", []float64{0, 0, 0}, "▁▁▁"},
+		{"single max", []float64{5}, "█"},
+		{"nan and negative blank", []float64{1, math.NaN(), -1, 1}, "█  █"},
+	}
+	for _, c := range cases {
+		if got := Sparkline(c.in); got != c.want {
+			t.Errorf("%s: Sparkline(%v) = %q, want %q", c.name, c.in, got, c.want)
+		}
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	in := []float64{1, 1, 2, 2, 3, 3, 4, 4}
+	if got := Downsample(in, 4); !reflect.DeepEqual(got, []float64{1, 2, 3, 4}) {
+		t.Errorf("Downsample to 4 = %v", got)
+	}
+	// Short series pass through unchanged (same backing array).
+	if got := Downsample(in, 100); &got[0] != &in[0] {
+		t.Error("Downsample should return short input unchanged")
+	}
+	if got := Downsample(in, 3); len(got) != 3 {
+		t.Errorf("Downsample to 3 returned %d points", len(got))
+	}
+	// Uneven split still covers every input point exactly once.
+	in7 := []float64{1, 2, 3, 4, 5, 6, 7}
+	got := Downsample(in7, 3)
+	sum := 0.0
+	for i, v := range got {
+		lo := i * len(in7) / 3
+		hi := (i + 1) * len(in7) / 3
+		sum += v * float64(hi-lo)
+	}
+	if sum != 28 {
+		t.Errorf("bucket averages do not cover the input: weighted sum %v, want 28", sum)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/dram"
 	"repro/internal/isa"
+	"repro/internal/probe"
 	"repro/internal/stats"
 )
 
@@ -107,6 +108,10 @@ type warp struct {
 	nextIssue int64
 	wakeAt    int64
 	regReady  [isa.MaxRegs]int64
+	// arbStall records that the warp's pending issue serialization
+	// (nextIssue in the future) came from an arbitration conflict, for
+	// the observability layer's stall attribution. Timing never reads it.
+	arbStall bool
 }
 
 type ctaSlot struct {
@@ -126,6 +131,14 @@ type SM struct {
 	l1        *cache.Cache
 	mem       Memory
 	counters  stats.Counters
+	// prof is the attached observability probe, nil when disabled.
+	// Every hook call site is guarded, so a run without a probe does no
+	// observability work at all, and a probed run only reads state.
+	prof *probe.Probe
+	// mshrBlockedUntil marks the end of the current window in which all
+	// cache miss entries are in flight (MaxMSHRs reached); the stall
+	// classifier attributes memory waits inside it to MSHR pressure.
+	mshrBlockedUntil int64
 
 	warps []warp
 	ctas  []ctaSlot
@@ -146,25 +159,58 @@ type SM struct {
 	started   bool
 }
 
+// Spec gathers everything needed to build an SM. The zero value of the
+// optional fields selects the defaults: Memory nil creates a private
+// single-channel DRAM system (the chip simulator injects a shared one),
+// and Probe nil disables the observability layer entirely.
+type Spec struct {
+	// Config is the local-memory configuration.
+	Config config.MemConfig
+	// Params are the timing parameters (Table 2).
+	Params Params
+	// Source supplies the kernel grid to execute.
+	Source TraceSource
+	// ResidentCTAs is the number of concurrent CTA slots.
+	ResidentCTAs int
+	// Memory optionally injects a shared memory system.
+	Memory Memory
+	// Probe optionally attaches a cycle-level observability probe.
+	Probe *probe.Probe
+}
+
 // New prepares an SM to run the grid of src under cfg with residentCTAs
 // concurrent CTA slots, with a private single-channel DRAM system.
+//
+// Deprecated: use NewSM with a Spec, which also carries the optional
+// memory system and observability probe.
 func New(cfg config.MemConfig, params Params, src TraceSource, residentCTAs int) (*SM, error) {
-	return NewWithMemory(cfg, params, src, residentCTAs, nil)
+	return NewSM(Spec{Config: cfg, Params: params, Source: src, ResidentCTAs: residentCTAs})
 }
 
 // NewWithMemory is New with an injected memory system (shared across SMs
 // by the chip simulator). mem == nil creates a private channel.
+//
+// Deprecated: use NewSM with Spec.Memory set.
 func NewWithMemory(cfg config.MemConfig, params Params, src TraceSource, residentCTAs int, mem Memory) (*SM, error) {
-	totalCTAs, warpsPer := src.Grid()
-	if residentCTAs < 1 {
+	return NewSM(Spec{Config: cfg, Params: params, Source: src, ResidentCTAs: residentCTAs, Memory: mem})
+}
+
+// NewSM builds an SM from spec.
+func NewSM(spec Spec) (*SM, error) {
+	if spec.Source == nil {
+		return nil, fmt.Errorf("sm: Spec.Source is nil")
+	}
+	cfg, params := spec.Config, spec.Params
+	totalCTAs, warpsPer := spec.Source.Grid()
+	if spec.ResidentCTAs < 1 {
 		return nil, fmt.Errorf("sm: need at least one resident CTA")
 	}
 	if warpsPer < 1 {
 		return nil, fmt.Errorf("sm: kernel has no warps per CTA")
 	}
-	if residentCTAs*warpsPer > config.MaxWarpsPerSM {
+	if spec.ResidentCTAs*warpsPer > config.MaxWarpsPerSM {
 		return nil, fmt.Errorf("sm: %d resident CTAs of %d warps exceed the %d-warp SM limit",
-			residentCTAs, warpsPer, config.MaxWarpsPerSM)
+			spec.ResidentCTAs, warpsPer, config.MaxWarpsPerSM)
 	}
 	if params.ActiveWarps < 1 {
 		params.ActiveWarps = config.ActiveWarps
@@ -173,18 +219,20 @@ func NewWithMemory(cfg config.MemConfig, params Params, src TraceSource, residen
 	if params.AggressiveScatter {
 		bankModel = banks.NewAggressive(cfg.Design)
 	}
+	mem := spec.Memory
 	if mem == nil {
 		mem = dram.New(params.DRAM)
 	}
 	s := &SM{
 		params:    params,
 		cfg:       cfg,
-		src:       src,
+		src:       spec.Source,
 		bankModel: bankModel,
 		l1:        cache.New(cfg.CacheBytes),
 		mem:       mem,
-		warps:     make([]warp, residentCTAs*warpsPer),
-		ctas:      make([]ctaSlot, residentCTAs),
+		prof:      spec.Probe,
+		warps:     make([]warp, spec.ResidentCTAs*warpsPer),
+		ctas:      make([]ctaSlot, spec.ResidentCTAs),
 		active:    make([]int, 0, params.ActiveWarps),
 		pending:   make(map[uint32]int64),
 		totalCTAs: totalCTAs,
@@ -217,6 +265,9 @@ func (s *SM) StartAt(cycle int64) {
 	}
 	s.started = true
 	s.cycle = cycle
+	if s.prof != nil {
+		s.prof.Begin(&s.counters, cycle)
+	}
 	for slot := range s.ctas {
 		if s.nextCTA < s.totalCTAs {
 			s.launch(slot)
@@ -254,6 +305,9 @@ func (s *SM) Step() error {
 	if nextEvent <= s.cycle {
 		nextEvent = s.cycle + 1
 	}
+	if s.prof != nil {
+		s.prof.Stall(s.cycle, nextEvent, s.stallReason())
+	}
 	s.cycle = nextEvent
 	if s.cycle > cycleBound {
 		return fmt.Errorf("sm: no forward progress by cycle %d (deadlocked trace?)", s.cycle)
@@ -269,7 +323,63 @@ func (s *SM) Finish() *stats.Counters {
 		s.counters.Cycles = s.tagFreeAt
 	}
 	s.counters.DirtyLinesEnd = s.l1.DirtyLines()
+	if s.prof != nil {
+		s.prof.End(s.counters.Cycles)
+	}
 	return &s.counters
+}
+
+// stallReason classifies a failed issue attempt for the observability
+// probe. Each lost slot is charged to exactly one cause, by fixed
+// priority: barrier > MSHR-full > scoreboard > arbitration >
+// bank-conflict > no-ready-warp. Only probed runs call this, on the
+// (cold) no-issue path.
+func (s *SM) stallReason() probe.StallReason {
+	if len(s.active) == 0 {
+		barrier, readyLater := 0, 0
+		for i := range s.warps {
+			switch s.warps[i].status {
+			case wBarrier:
+				barrier++
+			case wReady:
+				readyLater++
+			}
+		}
+		if barrier > 0 && readyLater == 0 {
+			return probe.StallBarrier
+		}
+		if s.cycle < s.mshrBlockedUntil {
+			return probe.StallMSHRFull
+		}
+		return probe.StallNoReadyWarp
+	}
+	sawDep, sawSerial, sawArb := false, false, false
+	for _, wIdx := range s.active {
+		w := &s.warps[wIdx]
+		if w.nextIssue > s.cycle {
+			// The warp holds its own issue stream while bank-conflict
+			// extra cycles of its previous instruction elapse.
+			sawSerial = true
+			if w.arbStall {
+				sawArb = true
+			}
+			continue
+		}
+		// An active warp that is not serialized failed on an operand
+		// dependence (long waits were descheduled out of the set).
+		sawDep = true
+	}
+	switch {
+	case s.cycle < s.mshrBlockedUntil:
+		return probe.StallMSHRFull
+	case sawDep:
+		return probe.StallScoreboard
+	case sawArb:
+		return probe.StallArbitration
+	case sawSerial:
+		return probe.StallBankConflict
+	}
+	return probe.StallNoReadyWarp
 }
 
 // Run executes the grid to completion and returns the event counters.
@@ -399,6 +509,12 @@ func (s *SM) tryIssue() (bool, int64) {
 func (s *SM) issue(pos, wIdx int, wi *isa.WarpInst) {
 	w := &s.warps[wIdx]
 	out := s.bankModel.Evaluate(wi)
+	if s.prof != nil {
+		s.prof.Issue(s.cycle)
+		acc, conf := s.prof.Heat()
+		s.bankModel.HeatInto(acc, conf)
+	}
+	w.arbStall = out.Arbitration && out.ExtraCycles > 0
 	s.counters.WarpInsts++
 	s.counters.ThreadInsts += int64(wi.ActiveThreads())
 	if wi.Spill {
@@ -607,10 +723,10 @@ func (s *SM) globalLoad(wi *isa.WarpInst, extra int64) int64 {
 
 	worst := s.cycle + s.params.CacheLatency
 	for i, line := range lines {
-		probe := start + int64(i)
+		lookup := start + int64(i)
 		s.counters.CacheProbes++
 		var ready int64
-		if done, ok := s.pending[line]; ok && done > probe {
+		if done, ok := s.pending[line]; ok && done > lookup {
 			// Merge with an in-flight fill (MSHR hit).
 			ready = done
 			s.counters.CacheHits++
@@ -620,7 +736,7 @@ func (s *SM) globalLoad(wi *isa.WarpInst, extra int64) int64 {
 				delete(s.pending, line)
 			}
 			if s.params.MaxMSHRs > 0 && len(s.pending) >= s.params.MaxMSHRs {
-				// All miss entries in flight: the probe stalls until the
+				// All miss entries in flight: the lookup stalls until the
 				// earliest outstanding fill returns. Ties on the ready
 				// cycle break by line number so the choice never depends
 				// on map iteration order (runs must be bit-reproducible).
@@ -632,8 +748,14 @@ func (s *SM) globalLoad(wi *isa.WarpInst, extra int64) int64 {
 					}
 				}
 				delete(s.pending, oldest)
-				if earliest > probe {
-					probe = earliest
+				if earliest > lookup {
+					lookup = earliest
+					// The issue slots until the entry retires are lost
+					// to MSHR pressure; the stall classifier gives this
+					// window priority over plain scoreboard waits.
+					if earliest > s.mshrBlockedUntil {
+						s.mshrBlockedUntil = earliest
+					}
 				}
 			}
 			hit := false
@@ -645,18 +767,18 @@ func (s *SM) globalLoad(wi *isa.WarpInst, extra int64) int64 {
 					// Dirty eviction: read the victim from the data
 					// array and write the full line back to DRAM.
 					s.counters.CacheDataReads++
-					s.memWrite(probe, victim*config.CacheLineBytes, config.CacheLineBytes)
+					s.memWrite(lookup, victim*config.CacheLineBytes, config.CacheLineBytes)
 				}
 			} else {
 				hit = s.l1.Read(line)
 			}
 			if hit {
-				ready = probe + s.params.CacheLatency
+				ready = lookup + s.params.CacheLatency
 				s.counters.CacheHits++
 				s.counters.CacheDataReads++
 			} else {
 				// Sectored fill: fetch only the touched 32-byte sectors.
-				ready = s.memRead(probe, line*config.CacheLineBytes, popcount8(sectors[i])*sectorBytes)
+				ready = s.memRead(lookup, line*config.CacheLineBytes, popcount8(sectors[i])*sectorBytes)
 				s.counters.CacheMisses++
 				// The line is already installed; remember when its data
 				// actually arrives.

@@ -121,6 +121,16 @@ func (c *Counters) IPC() float64 {
 	return float64(c.WarpInsts) / float64(c.Cycles)
 }
 
+// ThreadIPC returns thread instructions per cycle (warp instructions
+// weighted by their active threads; peak is the SM's 32 lanes). Unlike
+// normalized performance figures, this is an absolute metric.
+func (c *Counters) ThreadIPC() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.ThreadInsts) / float64(c.Cycles)
+}
+
 // ConflictFractions returns the Table 5 row: the fraction of warp
 // instructions in each max-accesses-per-bank bucket.
 func (c *Counters) ConflictFractions() [ConflictBuckets]float64 {
