@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/report"
+	"repro/internal/sched"
 	"repro/internal/workloads"
 )
 
@@ -40,9 +41,16 @@ func main() {
 		regs       = flag.Int("regs", 0, "registers allocated per thread (0 = spill-free demand)")
 		interval   = flag.Int64("interval", 0, "sampling interval in cycles (0 = default)")
 		ndjson     = flag.String("ndjson", "", "stream the raw NDJSON profile to this file (\"-\" = stdout)")
+		schedName  = flag.String("sched", "", "warp scheduler: twolevel (default) | gto")
 		list       = flag.Bool("list", false, "list benchmarks and exit")
 	)
 	flag.Parse()
+
+	policy, err := sched.ParsePolicy(*schedName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smprof:", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		t := report.NewTable("Benchmarks", "name", "suite", "category")
@@ -100,7 +108,9 @@ func main() {
 		out = f
 	}
 
-	pr, err := harness.Profile(core.NewRunner(), harness.ProfileSpec{
+	runner := core.NewRunner()
+	runner.Params.Scheduler = policy
+	pr, err := harness.Profile(runner, harness.ProfileSpec{
 		Kernel:         *kernelName,
 		Config:         cfg,
 		RegsPerThread:  *regs,

@@ -8,6 +8,7 @@
 //	smsim -kernel needle                         # baseline partitioned run
 //	smsim -kernel needle -design unified         # §4.5-allocated unified run
 //	smsim -kernel dgemm -rf 128 -shm 64 -cache 64 -regs 24
+//	smsim -kernel bfs -sched gto                 # greedy-then-oldest scheduler
 //	smsim -list                                  # show all benchmarks
 package main
 
@@ -21,13 +22,14 @@ import (
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/report"
+	"repro/internal/sched"
 	"repro/internal/sm"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
 // replayTrace runs a recorded trace file directly on the SM simulator.
-func replayTrace(path string, cfg config.MemConfig, residentCTAs int) {
+func replayTrace(path string, cfg config.MemConfig, params sm.Params, residentCTAs int) {
 	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "smsim:", err)
@@ -39,7 +41,7 @@ func replayTrace(path string, cfg config.MemConfig, residentCTAs int) {
 		fmt.Fprintln(os.Stderr, "smsim:", err)
 		os.Exit(1)
 	}
-	simulator, err := sm.NewSM(sm.Spec{Config: cfg, Params: sm.DefaultParams(), Source: tr, ResidentCTAs: residentCTAs})
+	simulator, err := sm.NewSM(sm.Spec{Config: cfg, Params: params, Source: tr, ResidentCTAs: residentCTAs})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "smsim:", err)
 		os.Exit(1)
@@ -68,9 +70,16 @@ func main() {
 		emitMachine = flag.String("emit-machine", "", "write the default machine description to a JSON file and exit")
 		traceFile   = flag.String("trace", "", "replay a recorded trace file instead of a registry kernel")
 		resident    = flag.Int("resident", 4, "resident CTAs when replaying a trace (-trace)")
+		schedName   = flag.String("sched", "", "warp scheduler: twolevel (default) | gto")
 		list        = flag.Bool("list", false, "list benchmarks and exit")
 	)
 	flag.Parse()
+
+	policy, err := sched.ParsePolicy(*schedName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smsim:", err)
+		os.Exit(2)
+	}
 
 	if *emitMachine != "" {
 		if err := machine.Save(*emitMachine, machine.Default()); err != nil {
@@ -91,13 +100,15 @@ func main() {
 		return
 	}
 	if *traceFile != "" {
+		params := sm.DefaultParams()
+		params.Scheduler = policy
 		replayTrace(*traceFile, config.MemConfig{
 			Design:      config.Partitioned,
 			RFBytes:     *rfKB << 10,
 			SharedBytes: *shmKB << 10,
 			CacheBytes:  *cacheKB << 10,
 			MaxThreads:  *threads,
-		}, *resident)
+		}, params, *resident)
 		return
 	}
 	if *kernelName == "" {
@@ -119,6 +130,9 @@ func main() {
 		}
 		r := core.NewRunner()
 		r.Params = params
+		if *schedName != "" {
+			r.Params.Scheduler = policy // the flag overrides the machine file
+		}
 		r.Energy.P = eparams
 		runAndReport(r, k, mcfg, *regs)
 		return
@@ -145,7 +159,9 @@ func main() {
 		os.Exit(2)
 	}
 
-	runAndReport(core.NewRunner(), k, cfg, *regs)
+	r := core.NewRunner()
+	r.Params.Scheduler = policy
+	runAndReport(r, k, cfg, *regs)
 }
 
 // runAndReport executes the kernel and prints the full report.

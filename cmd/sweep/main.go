@@ -25,6 +25,7 @@ import (
 	"repro/internal/occupancy"
 	"repro/internal/parallel"
 	"repro/internal/report"
+	"repro/internal/sched"
 	"repro/internal/workloads"
 )
 
@@ -52,10 +53,16 @@ func main() {
 		step       = flag.String("step", "2x", "additive KB step (e.g. 64) or \"2x\" for doubling")
 		threads    = flag.Int("threads", 0, "resident thread cap (0 = architectural limit)")
 		jobs       = flag.Int("j", runtime.NumCPU(), "parallel simulation workers (1 = serial)")
+		schedName  = flag.String("sched", "", "warp scheduler: twolevel (default) | gto")
 		csv        = flag.Bool("csv", false, "emit CSV")
 	)
 	flag.Parse()
 	parallel.SetWorkers(*jobs)
+	policy, err := sched.ParsePolicy(*schedName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(2)
+	}
 	if *kernelName == "" {
 		fmt.Fprintln(os.Stderr, "sweep: -kernel is required")
 		os.Exit(2)
@@ -83,6 +90,7 @@ func main() {
 	}
 
 	r := core.NewRunner()
+	r.Params.Scheduler = policy
 	start := time.Now()
 	rows, err := parallel.Map(len(capacities), func(i int) ([]string, error) {
 		kb := capacities[i]

@@ -1,0 +1,253 @@
+// Package dispatch owns the SM's work-distribution bookkeeping: CTA
+// slots, warp launch and retirement, and CTA barriers. It is the layer
+// between the trace source (which supplies the kernel grid) and the
+// scheduler/timing core (which consume warp state).
+//
+// The Dispatcher holds the canonical warp array. Warp fields the timing
+// core mutates on every issue (PC, scoreboard, issue serialization) are
+// exported on Warp so the hot path stays direct; lifecycle transitions —
+// launch, barrier arrival and release, exit, CTA rotation — go through
+// Dispatcher methods so the invariants (live-warp counts, barrier
+// arrival counts, early-exit barrier release) live in one place.
+//
+// Dispatcher implements the scheduler's Pool interface (NumWarps /
+// ReadyAt / Activate), which is the only coupling between the two
+// components.
+package dispatch
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/stats"
+)
+
+// TraceSource supplies the kernel grid to execute.
+type TraceSource interface {
+	// Grid returns the total number of CTAs and the warps per CTA.
+	Grid() (ctas, warpsPerCTA int)
+	// WarpTrace generates the instruction trace of one warp. It is
+	// called once per warp, when the warp's CTA is launched.
+	WarpTrace(cta, warp int) []isa.WarpInst
+}
+
+// Status is a warp's lifecycle state.
+type Status uint8
+
+const (
+	// Idle: the slot is unoccupied.
+	Idle Status = iota
+	// Ready: eligible for the active set at WakeAt.
+	Ready
+	// Active: in the scheduler's active set.
+	Active
+	// Barrier: blocked at a CTA barrier.
+	Barrier
+	// Done: exited.
+	Done
+)
+
+// Warp is one warp slot. The scheduler and timing core identify warps by
+// their slot index in the Dispatcher.
+type Warp struct {
+	Status  Status
+	CTASlot int
+	Trace   []isa.WarpInst
+	PC      int
+	// NextIssue serializes the warp's own issue stream while the
+	// bank-conflict extra cycles of its previous instruction elapse.
+	NextIssue int64
+	// WakeAt is the cycle a Ready warp becomes eligible for promotion.
+	WakeAt int64
+	// RegReady is the per-register scoreboard: the cycle each
+	// architectural register's pending value arrives.
+	RegReady [isa.MaxRegs]int64
+	// ArbStall records that the warp's pending issue serialization came
+	// from an arbitration conflict, for the observability layer's stall
+	// attribution. Timing never reads it.
+	ArbStall bool
+}
+
+// ctaSlot tracks one resident CTA.
+type ctaSlot struct {
+	id        int // grid CTA index, -1 if empty
+	liveWarps int
+	barWaits  int
+	warps     []int // warp slot indices
+}
+
+// Dispatcher launches the grid's CTAs into resident slots, rotates new
+// CTAs in as old ones drain, and resolves barriers.
+type Dispatcher struct {
+	src TraceSource
+	c   *stats.Counters
+
+	warps []Warp
+	ctas  []ctaSlot
+
+	nextCTA   int // next grid CTA to launch
+	totalCTAs int
+	warpsPer  int
+	liveWarps int
+}
+
+// New builds a dispatcher for the grid of src with residentCTAs
+// concurrent CTA slots. Launch and retirement events are filed into c.
+func New(src TraceSource, residentCTAs int, c *stats.Counters) (*Dispatcher, error) {
+	totalCTAs, warpsPer := src.Grid()
+	if residentCTAs < 1 {
+		return nil, fmt.Errorf("dispatch: need at least one resident CTA")
+	}
+	if warpsPer < 1 {
+		return nil, fmt.Errorf("dispatch: kernel has no warps per CTA")
+	}
+	if residentCTAs*warpsPer > config.MaxWarpsPerSM {
+		return nil, fmt.Errorf("dispatch: %d resident CTAs of %d warps exceed the %d-warp SM limit",
+			residentCTAs, warpsPer, config.MaxWarpsPerSM)
+	}
+	d := &Dispatcher{
+		src:       src,
+		c:         c,
+		warps:     make([]Warp, residentCTAs*warpsPer),
+		ctas:      make([]ctaSlot, residentCTAs),
+		totalCTAs: totalCTAs,
+		warpsPer:  warpsPer,
+	}
+	for i := range d.ctas {
+		d.ctas[i].id = -1
+		d.ctas[i].warps = make([]int, warpsPer)
+		for w := 0; w < warpsPer; w++ {
+			d.ctas[i].warps[w] = i*warpsPer + w
+		}
+	}
+	return d, nil
+}
+
+// Start launches the initial resident CTAs at the given cycle and records
+// the resident-thread high-water mark.
+func (d *Dispatcher) Start(cycle int64) {
+	for slot := range d.ctas {
+		if d.nextCTA < d.totalCTAs {
+			d.launch(slot, cycle)
+		}
+	}
+	resident := 0
+	for _, c := range d.ctas {
+		if c.id >= 0 {
+			resident++
+		}
+	}
+	d.c.MaxResidentThreads = resident * d.warpsPer * isa.WarpSize
+}
+
+// launch populates a CTA slot with the next grid CTA; its warps wake at
+// the given cycle.
+func (d *Dispatcher) launch(slot int, cycle int64) {
+	c := &d.ctas[slot]
+	c.id = d.nextCTA
+	d.nextCTA++
+	c.liveWarps = d.warpsPer
+	c.barWaits = 0
+	for i, wIdx := range c.warps {
+		w := &d.warps[wIdx]
+		*w = Warp{
+			Status:  Ready,
+			CTASlot: slot,
+			Trace:   d.src.WarpTrace(c.id, i),
+			WakeAt:  cycle,
+		}
+		d.liveWarps++
+	}
+	d.c.ThreadsRun += int64(d.warpsPer) * isa.WarpSize
+}
+
+// Done reports whether every warp of the grid has exited.
+func (d *Dispatcher) Done() bool { return d.liveWarps == 0 }
+
+// LiveWarps returns the number of warps not yet exited.
+func (d *Dispatcher) LiveWarps() int { return d.liveWarps }
+
+// NumWarps returns the number of warp slots (the sched.Pool view).
+func (d *Dispatcher) NumWarps() int { return len(d.warps) }
+
+// Warp returns the warp at slot i for direct state access.
+func (d *Dispatcher) Warp(i int) *Warp { return &d.warps[i] }
+
+// ReadyAt reports whether warp w awaits promotion and its wake cycle
+// (the sched.Pool view).
+func (d *Dispatcher) ReadyAt(w int) (int64, bool) {
+	if d.warps[w].Status != Ready {
+		return 0, false
+	}
+	return d.warps[w].WakeAt, true
+}
+
+// Activate marks warp w as entering the scheduler's active set (the
+// sched.Pool view).
+func (d *Dispatcher) Activate(w int) { d.warps[w].Status = Active }
+
+// Barrier blocks warp wIdx at its CTA barrier (advancing its PC past the
+// BAR instruction); when it is the last live warp to arrive, the whole
+// CTA is released to wake at now+1. The caller removes the warp from the
+// active set.
+func (d *Dispatcher) Barrier(wIdx int, now int64) {
+	w := &d.warps[wIdx]
+	c := &d.ctas[w.CTASlot]
+	w.PC++
+	w.Status = Barrier
+	c.barWaits++
+	if c.barWaits >= c.liveWarps {
+		c.barWaits = 0
+		d.release(c, now)
+	}
+}
+
+// release wakes every barrier-blocked warp of the CTA.
+func (d *Dispatcher) release(c *ctaSlot, now int64) {
+	for _, idx := range c.warps {
+		ww := &d.warps[idx]
+		if ww.Status == Barrier {
+			ww.Status = Ready
+			ww.WakeAt = now + 1
+		}
+	}
+}
+
+// Exit retires warp wIdx and, when its CTA drains, launches the next grid
+// CTA into the freed slot. An exiting warp may also be the last one
+// holding up a barrier (warps that exit early release their CTA-mates).
+// The caller removes the warp from the active set.
+func (d *Dispatcher) Exit(wIdx int, now int64) {
+	w := &d.warps[wIdx]
+	c := &d.ctas[w.CTASlot]
+	w.Status = Done
+	w.Trace = nil
+	d.liveWarps--
+	c.liveWarps--
+	if c.liveWarps == 0 {
+		d.c.CTAsRetired++
+		slot := w.CTASlot
+		c.id = -1
+		if d.nextCTA < d.totalCTAs {
+			d.launch(slot, now)
+		}
+	} else if c.barWaits >= c.liveWarps && c.barWaits > 0 {
+		c.barWaits = 0
+		d.release(c, now)
+	}
+}
+
+// Counts returns the number of warps blocked at a barrier and the number
+// awaiting promotion, for the stall classifier.
+func (d *Dispatcher) Counts() (barrier, ready int) {
+	for i := range d.warps {
+		switch d.warps[i].Status {
+		case Barrier:
+			barrier++
+		case Ready:
+			ready++
+		}
+	}
+	return barrier, ready
+}

@@ -1,0 +1,182 @@
+package dispatch
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/stats"
+)
+
+// fakeSource is a TraceSource for a grid of ctas x warpsPer warps, each
+// warp running a trivial two-instruction trace.
+type fakeSource struct {
+	ctas, warpsPer int
+	traced         [][2]int // (cta, warp) pairs WarpTrace was asked for
+}
+
+func (s *fakeSource) Grid() (int, int) { return s.ctas, s.warpsPer }
+
+func (s *fakeSource) WarpTrace(cta, warp int) []isa.WarpInst {
+	s.traced = append(s.traced, [2]int{cta, warp})
+	return []isa.WarpInst{
+		{Op: isa.OpALU, Mask: isa.FullMask},
+		{Op: isa.OpEXIT, Mask: isa.FullMask},
+	}
+}
+
+func newDisp(t *testing.T, ctas, warpsPer, resident int) (*Dispatcher, *fakeSource, *stats.Counters) {
+	t.Helper()
+	src := &fakeSource{ctas: ctas, warpsPer: warpsPer}
+	c := &stats.Counters{}
+	d, err := New(src, resident, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, src, c
+}
+
+func TestNewValidation(t *testing.T) {
+	c := &stats.Counters{}
+	if _, err := New(&fakeSource{ctas: 1, warpsPer: 2}, 0, c); err == nil {
+		t.Error("resident CTAs < 1 should fail")
+	}
+	if _, err := New(&fakeSource{ctas: 1, warpsPer: 0}, 2, c); err == nil {
+		t.Error("zero warps per CTA should fail")
+	}
+	over := config.MaxWarpsPerSM + 1
+	if _, err := New(&fakeSource{ctas: 1, warpsPer: over}, 1, c); err == nil {
+		t.Error("oversubscribing the SM warp limit should fail")
+	}
+}
+
+func TestStartLaunchesResidentCTAs(t *testing.T) {
+	// Grid of 3 CTAs x 2 warps, 2 resident slots: Start launches CTAs 0
+	// and 1, traces all four of their warps, and records the resident
+	// thread high-water mark.
+	d, src, c := newDisp(t, 3, 2, 2)
+	d.Start(7)
+
+	if d.LiveWarps() != 4 || d.Done() {
+		t.Fatalf("LiveWarps = %d, Done = %v after Start; want 4, false", d.LiveWarps(), d.Done())
+	}
+	if want := [][2]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}}; len(src.traced) != 4 {
+		t.Errorf("traced %v, want %v", src.traced, want)
+	}
+	if c.MaxResidentThreads != 2*2*isa.WarpSize {
+		t.Errorf("MaxResidentThreads = %d, want %d", c.MaxResidentThreads, 2*2*isa.WarpSize)
+	}
+	if c.ThreadsRun != int64(2*2*isa.WarpSize) {
+		t.Errorf("ThreadsRun = %d, want %d", c.ThreadsRun, 2*2*isa.WarpSize)
+	}
+	for i := 0; i < d.NumWarps(); i++ {
+		wake, ok := d.ReadyAt(i)
+		if !ok || wake != 7 {
+			t.Errorf("warp %d ReadyAt = %d, %v; want 7, true", i, wake, ok)
+		}
+	}
+	// Activation removes a warp from the ready pool.
+	d.Activate(0)
+	if _, ok := d.ReadyAt(0); ok {
+		t.Error("activated warp still reports ready")
+	}
+}
+
+func TestExitRotatesNextCTA(t *testing.T) {
+	d, src, c := newDisp(t, 3, 2, 2)
+	d.Start(0)
+
+	// Retire CTA 0's warps (slots 0 and 1): the slot is refilled with grid
+	// CTA 2, whose warps wake at the retirement cycle.
+	d.Exit(0, 50)
+	if c.CTAsRetired != 0 {
+		t.Fatalf("CTAsRetired = %d before the CTA drained, want 0", c.CTAsRetired)
+	}
+	d.Exit(1, 60)
+	if c.CTAsRetired != 1 {
+		t.Errorf("CTAsRetired = %d, want 1", c.CTAsRetired)
+	}
+	if got := src.traced[len(src.traced)-1]; got != [2]int{2, 1} {
+		t.Errorf("last traced warp = %v, want CTA 2 warp 1", got)
+	}
+	if wake, ok := d.ReadyAt(0); !ok || wake != 60 {
+		t.Errorf("rotated warp 0 ReadyAt = %d, %v; want 60, true", wake, ok)
+	}
+	if d.LiveWarps() != 4 {
+		t.Errorf("LiveWarps = %d after rotation, want 4", d.LiveWarps())
+	}
+
+	// Drain everything: grid exhausted, no further launches.
+	for i := 0; i < 4; i++ {
+		d.Exit(i, 100)
+	}
+	if !d.Done() || d.LiveWarps() != 0 {
+		t.Errorf("Done = %v, LiveWarps = %d after draining the grid; want true, 0", d.Done(), d.LiveWarps())
+	}
+	if c.CTAsRetired != 3 {
+		t.Errorf("CTAsRetired = %d, want 3", c.CTAsRetired)
+	}
+	if c.ThreadsRun != int64(3*2*isa.WarpSize) {
+		t.Errorf("ThreadsRun = %d, want all 3 CTAs launched", c.ThreadsRun)
+	}
+}
+
+func TestBarrierReleasesOnLastArrival(t *testing.T) {
+	d, _, _ := newDisp(t, 1, 3, 1)
+	d.Start(0)
+	for i := 0; i < 3; i++ {
+		d.Activate(i)
+	}
+
+	d.Barrier(0, 10)
+	d.Barrier(1, 11)
+	if bar, _ := d.Counts(); bar != 2 {
+		t.Fatalf("barrier count = %d after two arrivals, want 2", bar)
+	}
+	if _, ok := d.ReadyAt(0); ok {
+		t.Fatal("barrier-blocked warp reports ready before release")
+	}
+
+	// Last arrival releases the whole CTA at now+1 with PCs advanced past
+	// the BAR instruction.
+	d.Barrier(2, 12)
+	bar, ready := d.Counts()
+	if bar != 0 || ready != 3 {
+		t.Fatalf("Counts = (%d barrier, %d ready) after release, want (0, 3)", bar, ready)
+	}
+	for i := 0; i < 3; i++ {
+		if wake, ok := d.ReadyAt(i); !ok || wake != 13 {
+			t.Errorf("warp %d ReadyAt = %d, %v; want 13, true", i, wake, ok)
+		}
+		if d.Warp(i).PC != 1 {
+			t.Errorf("warp %d PC = %d, want 1 (advanced past BAR)", i, d.Warp(i).PC)
+		}
+	}
+}
+
+func TestEarlyExitReleasesBarrier(t *testing.T) {
+	// Two warps wait at a barrier while the third exits instead of
+	// arriving: the exit must release its CTA-mates or they deadlock.
+	d, _, _ := newDisp(t, 1, 3, 1)
+	d.Start(0)
+	for i := 0; i < 3; i++ {
+		d.Activate(i)
+	}
+
+	d.Barrier(0, 10)
+	d.Barrier(1, 11)
+	d.Exit(2, 20)
+
+	bar, ready := d.Counts()
+	if bar != 0 || ready != 2 {
+		t.Fatalf("Counts = (%d barrier, %d ready) after early exit, want (0, 2)", bar, ready)
+	}
+	for i := 0; i < 2; i++ {
+		if wake, ok := d.ReadyAt(i); !ok || wake != 21 {
+			t.Errorf("warp %d ReadyAt = %d, %v; want 21, true", i, wake, ok)
+		}
+	}
+	if d.LiveWarps() != 2 {
+		t.Errorf("LiveWarps = %d, want 2", d.LiveWarps())
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/energy"
+	"repro/internal/sched"
 	"repro/internal/sm"
 )
 
@@ -38,8 +39,11 @@ type Description struct {
 		DRAMRowMissCycles int64 `json:"dram_row_miss_cycles,omitempty"`
 		ActiveWarps       int   `json:"active_warps,omitempty"`
 		DeschedulePast    int64 `json:"deschedule_past,omitempty"`
-		AggressiveScatter bool  `json:"aggressive_scatter,omitempty"`
-		WriteBackCache    bool  `json:"write_back_cache,omitempty"`
+		// Scheduler is the warp-scheduling policy: "twolevel" (default)
+		// or "gto".
+		Scheduler         string `json:"scheduler,omitempty"`
+		AggressiveScatter bool   `json:"aggressive_scatter,omitempty"`
+		WriteBackCache    bool   `json:"write_back_cache,omitempty"`
 	} `json:"timing"`
 
 	Energy struct {
@@ -122,6 +126,11 @@ func (d Description) Resolve() (config.MemConfig, sm.Params, energy.Params, erro
 		p.ActiveWarps = d.Timing.ActiveWarps
 	}
 	setI64(&p.DeschedulePast, d.Timing.DeschedulePast)
+	pol, err := sched.ParsePolicy(d.Timing.Scheduler)
+	if err != nil {
+		return cfg, sm.Params{}, energy.Params{}, fmt.Errorf("machine: %w", err)
+	}
+	p.Scheduler = pol
 	p.AggressiveScatter = d.Timing.AggressiveScatter
 	p.WriteBackCache = d.Timing.WriteBackCache
 

@@ -21,6 +21,7 @@ import (
 	"io"
 
 	"repro/internal/config"
+	"repro/internal/memsys"
 	"repro/internal/stats"
 )
 
@@ -113,6 +114,12 @@ type Probe struct {
 
 	bankAccess   [config.NumBanks]int64
 	bankConflict [config.NumBanks]int64
+
+	// Global-load access classification, from the memory pipeline's typed
+	// per-line results: tag hits, in-flight merges (MSHR hits), misses,
+	// and the total touched sectors of the missed fills.
+	accHits, accMerged, accMisses int64
+	missSectors                   int64
 
 	cur       Interval
 	intervals []Interval
@@ -209,6 +216,31 @@ func (p *Probe) Stall(from, to int64, reason StallReason) {
 // footprint to them). The arrays index by physical bank number.
 func (p *Probe) Heat() (access, conflict *[config.NumBanks]int64) {
 	return &p.bankAccess, &p.bankConflict
+}
+
+// MemAccess records one typed global-load line access from the memory
+// pipeline (memsys.MemSys.Load). Like the other hot hooks it performs no
+// allocation; the classification totals are exposed by LoadAccesses and
+// do not alter the NDJSON stream or formatted profiles.
+func (p *Probe) MemAccess(a *memsys.Access) {
+	switch a.Status {
+	case memsys.AccessHit:
+		p.accHits++
+	case memsys.AccessMerged:
+		p.accMerged++
+	case memsys.AccessMiss:
+		p.accMisses++
+		for m := a.Sectors; m != 0; m &= m - 1 {
+			p.missSectors++
+		}
+	}
+}
+
+// LoadAccesses returns the global-load line-access classification: tag
+// hits, in-flight merges (MSHR hits), misses, and the total number of
+// 32-byte sectors the missed fills fetched.
+func (p *Probe) LoadAccesses() (hits, merged, misses, missSectors int64) {
+	return p.accHits, p.accMerged, p.accMisses, p.missSectors
 }
 
 // End closes observation at finalCycle (the run's reported cycle count),

@@ -1,0 +1,143 @@
+// Package sched implements the SM's warp-scheduling policies behind a
+// single Scheduler interface: which warps occupy the active set, in what
+// order they compete for the one issue slot per cycle, and when a warp is
+// moved to the inactive set to wait out a long-latency dependence.
+//
+// The package owns only scheduling state (the active list and the
+// policy's cursor). Warp state — readiness, wake cycles, traces — stays
+// with the SM's dispatch component, which the scheduler sees through the
+// narrow Pool interface; the issue-time readiness test stays with the SM
+// timing core, which drives Walk with a visitor that returns an Action
+// per candidate. This split is what lets a policy be swapped without
+// touching either the warp bookkeeping or the timing model.
+//
+// Two policies are provided:
+//
+//   - TwoLevel: the paper's two-level scheduler. Ready warps are promoted
+//     into a fixed-size active set oldest-wakeup-first; the active set is
+//     walked round-robin (or greedy, holding the last issuer, when built
+//     with greedy=true); warps that hit a long-latency dependence are
+//     descheduled back to the inactive set.
+//   - GTO: greedy-then-oldest. The last-issued warp retries first; on
+//     failure the remaining active warps are tried oldest-activation
+//     first. Promotion and descheduling follow the same two-level rules,
+//     so the comparison isolates the issue-ordering policy.
+package sched
+
+import "fmt"
+
+// Policy names a scheduler implementation. The zero value selects
+// TwoLevel, the paper's policy.
+type Policy string
+
+const (
+	// TwoLevel is the paper's two-level round-robin scheduler.
+	TwoLevel Policy = "twolevel"
+	// GTO is the greedy-then-oldest alternative.
+	GTO Policy = "gto"
+)
+
+// Policies returns the selectable policy names, default first.
+func Policies() []Policy { return []Policy{TwoLevel, GTO} }
+
+// ParsePolicy validates a policy name; the empty string selects TwoLevel.
+func ParsePolicy(s string) (Policy, error) {
+	switch Policy(s) {
+	case "", TwoLevel:
+		return TwoLevel, nil
+	case GTO:
+		return GTO, nil
+	}
+	return "", fmt.Errorf("sched: unknown policy %q (want %q or %q)", s, TwoLevel, GTO)
+}
+
+// Pool is the scheduler's view of the warp pool, implemented by the SM's
+// dispatch component. Warps are identified by their pool slot index.
+type Pool interface {
+	// NumWarps returns the number of warp slots.
+	NumWarps() int
+	// ReadyAt reports whether warp w is awaiting promotion into the
+	// active set and, if so, the cycle it becomes (or became) eligible.
+	ReadyAt(w int) (wake int64, ok bool)
+	// Activate marks warp w as a member of the active set.
+	Activate(w int)
+}
+
+// Action is a Walk visitor's verdict on one candidate warp.
+type Action uint8
+
+const (
+	// Keep: the candidate cannot issue this cycle (short operand wait or
+	// issue-stream serialization) but stays in the active set.
+	Keep Action = iota
+	// Deschedule: the candidate entered a long-latency wait; remove it
+	// from the active set and keep walking.
+	Deschedule
+	// Issued: the candidate issued an instruction; stop walking.
+	Issued
+	// IssuedGone: the candidate issued and left the active set (barrier
+	// or exit); stop walking.
+	IssuedGone
+)
+
+// Scheduler is one SM's warp-scheduling policy. Implementations hold the
+// active set and a policy cursor; they never inspect warp state directly.
+// A Scheduler is not safe for concurrent use; each SM owns one.
+type Scheduler interface {
+	// Policy returns the implementation's name.
+	Policy() Policy
+	// Refill promotes eligible warps (Pool.ReadyAt true with wake <= now)
+	// into vacant active-set slots, oldest wake first, lowest slot index
+	// breaking ties.
+	Refill(pool Pool, now int64)
+	// Walk visits active warps in policy priority order, applying each
+	// visitor verdict to the active set, until a visit reports Issued or
+	// IssuedGone (returning true) or candidates run out (false).
+	Walk(visit func(w int) Action) bool
+	// Active returns the active set. The slice is the scheduler's own
+	// storage in policy-internal order: callers must not modify it.
+	Active() []int
+	// Len returns the active-set occupancy.
+	Len() int
+}
+
+// New builds the named policy with the given active-set capacity. greedy
+// selects the hold-the-last-issuer variant of TwoLevel (it is implied by
+// GTO, which ignores the flag).
+func New(p Policy, capacity int, greedy bool) (Scheduler, error) {
+	pol, err := ParsePolicy(string(p))
+	if err != nil {
+		return nil, err
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("sched: active-set capacity %d < 1", capacity)
+	}
+	switch pol {
+	case GTO:
+		return newGTO(capacity), nil
+	default:
+		return newTwoLevel(capacity, greedy), nil
+	}
+}
+
+// refill is the promotion rule both policies share: scan the pool for
+// eligible warps and append the oldest-wakeup one (lowest slot index on
+// ties) until the active set is full or no warp qualifies.
+func refill(active []int, capacity int, pool Pool, now int64) []int {
+	for len(active) < capacity {
+		best, bestWake := -1, int64(0)
+		for i := 0; i < pool.NumWarps(); i++ {
+			if wake, ok := pool.ReadyAt(i); ok && wake <= now {
+				if best < 0 || wake < bestWake {
+					best, bestWake = i, wake
+				}
+			}
+		}
+		if best < 0 {
+			return active
+		}
+		pool.Activate(best)
+		active = append(active, best)
+	}
+	return active
+}

@@ -68,7 +68,7 @@ func TestSimulationInvariants(t *testing.T) {
 			resident = 1
 		}
 		src := funcSource{ctas, warps, randomKernel(seed, length)}
-		s, err := New(cfg, DefaultParams(), src, resident)
+		s, err := newSM(cfg, DefaultParams(), src, resident)
 		if err != nil {
 			return false
 		}
@@ -126,7 +126,7 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 		params.MaxMSHRs = []int{0, 1, 2, 8}[int(mshrRaw)%4]
 		src := funcSource{4, 2, randomKernel(seed, length)}
 		run := func() *stats.Counters {
-			s, err := New(config.Baseline(), params, src, 2)
+			s, err := newSM(config.Baseline(), params, src, 2)
 			if err != nil {
 				t.Fatal(err)
 			}

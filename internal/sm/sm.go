@@ -8,6 +8,15 @@
 // bandwidth-limited DRAM channel. Traces are supplied per warp by a
 // TraceSource (internal/workloads via internal/kgen).
 //
+// The SM itself is a thin orchestrator over three components:
+//
+//   - internal/sched owns the warp-scheduling policy (active-set
+//     selection, issue priority order, long-latency descheduling);
+//   - internal/dispatch owns work distribution (CTA slots, warp launch
+//     and retirement, barriers) and the canonical warp array;
+//   - internal/memsys owns the global-memory pipeline (coalescer,
+//     primary cache, MSHR table, sectored DRAM fills, texture path).
+//
 // Following the paper's Section 5.1 methodology, one SM is simulated to
 // completion with its 1/32 share of chip DRAM bandwidth.
 package sm
@@ -16,13 +25,23 @@ import (
 	"fmt"
 
 	"repro/internal/banks"
-	"repro/internal/cache"
 	"repro/internal/config"
+	"repro/internal/dispatch"
 	"repro/internal/dram"
 	"repro/internal/isa"
+	"repro/internal/memsys"
 	"repro/internal/probe"
+	"repro/internal/sched"
 	"repro/internal/stats"
 )
+
+// Memory is the DRAM system the SM issues global traffic to; it is owned
+// by the memory-pipeline component.
+type Memory = memsys.Memory
+
+// TraceSource supplies the kernel grid to execute; it is consumed by the
+// dispatch component.
+type TraceSource = dispatch.TraceSource
 
 // Params holds the timing parameters of Table 2.
 type Params struct {
@@ -36,8 +55,11 @@ type Params struct {
 	// warp is moved to the inactive set instead of busy-waiting in the
 	// active set.
 	DeschedulePast int64
-	// ActiveWarps is the active-set size of the two-level scheduler.
+	// ActiveWarps is the active-set size of the warp scheduler.
 	ActiveWarps int
+	// Scheduler selects the warp-scheduling policy; the zero value is
+	// sched.TwoLevel, the paper's two-level round-robin scheduler.
+	Scheduler sched.Policy
 	// AggressiveScatter selects the Section 4.2 multi-bank-per-cluster
 	// scatter/gather variant of the unified design.
 	AggressiveScatter bool
@@ -46,10 +68,10 @@ type Params struct {
 	// Section 4.3/4.4 design choice). Dirty victims cost a line writeback
 	// to DRAM plus a data-array read.
 	WriteBackCache bool
-	// GreedyScheduler switches the active set from round-robin to
-	// greedy-then-oldest (GTO): keep issuing from the same warp until it
-	// stalls, then fall back to the oldest ready warp. GTO improves
-	// intra-warp locality at some fairness cost.
+	// GreedyScheduler holds the two-level scheduler's cursor on the warp
+	// that issued last (greedy-then-round-robin), improving intra-warp
+	// locality at some fairness cost. The GTO policy is inherently
+	// greedy and ignores this flag.
 	GreedyScheduler bool
 	// MaxMSHRs bounds outstanding cache misses; a load that needs a new
 	// miss entry while all are in flight stalls until one retires.
@@ -71,92 +93,25 @@ func DefaultParams() Params {
 	}
 }
 
-// Memory is the DRAM system the SM issues global traffic to. A private
-// single-channel dram.DRAM satisfies it for single-SM runs; the chip
-// simulator injects a shared channel-interleaved system.
-type Memory interface {
-	// Read schedules a read and returns the data-ready cycle.
-	Read(now int64, addr uint32, bytes int) int64
-	// Write posts a write.
-	Write(now int64, addr uint32, bytes int)
-}
-
-// TraceSource supplies the kernel grid to execute.
-type TraceSource interface {
-	// Grid returns the total number of CTAs and the warps per CTA.
-	Grid() (ctas, warpsPerCTA int)
-	// WarpTrace generates the instruction trace of one warp. It is
-	// called once per warp, when the warp's CTA is launched.
-	WarpTrace(cta, warp int) []isa.WarpInst
-}
-
-type warpStatus uint8
-
-const (
-	wIdle    warpStatus = iota // slot unoccupied
-	wReady                     // eligible for the active set at wakeAt
-	wActive                    // in the active set
-	wBarrier                   // blocked at a CTA barrier
-	wDone                      // exited
-)
-
-type warp struct {
-	status    warpStatus
-	ctaSlot   int
-	trace     []isa.WarpInst
-	pc        int
-	nextIssue int64
-	wakeAt    int64
-	regReady  [isa.MaxRegs]int64
-	// arbStall records that the warp's pending issue serialization
-	// (nextIssue in the future) came from an arbitration conflict, for
-	// the observability layer's stall attribution. Timing never reads it.
-	arbStall bool
-}
-
-type ctaSlot struct {
-	id        int // grid CTA index, -1 if empty
-	liveWarps int
-	barWaits  int
-	warps     []int // warp slot indices
-}
-
-// SM is one simulated streaming multiprocessor.
+// SM is one simulated streaming multiprocessor: the timing core plus its
+// scheduler, dispatcher, and memory-pipeline components.
 type SM struct {
 	params Params
 	cfg    config.MemConfig
-	src    TraceSource
 
 	bankModel *banks.Model
-	l1        *cache.Cache
-	mem       Memory
+	sched     sched.Scheduler
+	disp      *dispatch.Dispatcher
+	mem       *memsys.MemSys
 	counters  stats.Counters
 	// prof is the attached observability probe, nil when disabled.
 	// Every hook call site is guarded, so a run without a probe does no
 	// observability work at all, and a probed run only reads state.
 	prof *probe.Probe
-	// mshrBlockedUntil marks the end of the current window in which all
-	// cache miss entries are in flight (MaxMSHRs reached); the stall
-	// classifier attributes memory waits inside it to MSHR pressure.
-	mshrBlockedUntil int64
-
-	warps []warp
-	ctas  []ctaSlot
-
-	active []int // indices into warps
-	rr     int   // round-robin cursor into active
 
 	cycle      int64
 	slotFreeAt int64 // issue slot busy until
-	tagFreeAt  int64 // cache tag port busy until
-
-	pending map[uint32]int64 // in-flight line fills: line -> data-ready cycle
-
-	nextCTA   int // next grid CTA to launch
-	totalCTAs int
-	warpsPer  int
-	liveWarps int
-	started   bool
+	started    bool
 }
 
 // Spec gathers everything needed to build an SM. The zero value of the
@@ -178,40 +133,12 @@ type Spec struct {
 	Probe *probe.Probe
 }
 
-// New prepares an SM to run the grid of src under cfg with residentCTAs
-// concurrent CTA slots, with a private single-channel DRAM system.
-//
-// Deprecated: use NewSM with a Spec, which also carries the optional
-// memory system and observability probe.
-func New(cfg config.MemConfig, params Params, src TraceSource, residentCTAs int) (*SM, error) {
-	return NewSM(Spec{Config: cfg, Params: params, Source: src, ResidentCTAs: residentCTAs})
-}
-
-// NewWithMemory is New with an injected memory system (shared across SMs
-// by the chip simulator). mem == nil creates a private channel.
-//
-// Deprecated: use NewSM with Spec.Memory set.
-func NewWithMemory(cfg config.MemConfig, params Params, src TraceSource, residentCTAs int, mem Memory) (*SM, error) {
-	return NewSM(Spec{Config: cfg, Params: params, Source: src, ResidentCTAs: residentCTAs, Memory: mem})
-}
-
 // NewSM builds an SM from spec.
 func NewSM(spec Spec) (*SM, error) {
 	if spec.Source == nil {
 		return nil, fmt.Errorf("sm: Spec.Source is nil")
 	}
 	cfg, params := spec.Config, spec.Params
-	totalCTAs, warpsPer := spec.Source.Grid()
-	if spec.ResidentCTAs < 1 {
-		return nil, fmt.Errorf("sm: need at least one resident CTA")
-	}
-	if warpsPer < 1 {
-		return nil, fmt.Errorf("sm: kernel has no warps per CTA")
-	}
-	if spec.ResidentCTAs*warpsPer > config.MaxWarpsPerSM {
-		return nil, fmt.Errorf("sm: %d resident CTAs of %d warps exceed the %d-warp SM limit",
-			spec.ResidentCTAs, warpsPer, config.MaxWarpsPerSM)
-	}
 	if params.ActiveWarps < 1 {
 		params.ActiveWarps = config.ActiveWarps
 	}
@@ -226,25 +153,24 @@ func NewSM(spec Spec) (*SM, error) {
 	s := &SM{
 		params:    params,
 		cfg:       cfg,
-		src:       spec.Source,
 		bankModel: bankModel,
-		l1:        cache.New(cfg.CacheBytes),
-		mem:       mem,
 		prof:      spec.Probe,
-		warps:     make([]warp, spec.ResidentCTAs*warpsPer),
-		ctas:      make([]ctaSlot, spec.ResidentCTAs),
-		active:    make([]int, 0, params.ActiveWarps),
-		pending:   make(map[uint32]int64),
-		totalCTAs: totalCTAs,
-		warpsPer:  warpsPer,
 	}
-	for i := range s.ctas {
-		s.ctas[i].id = -1
-		s.ctas[i].warps = make([]int, warpsPer)
-		for w := 0; w < warpsPer; w++ {
-			s.ctas[i].warps[w] = i*warpsPer + w
-		}
+	var err error
+	if s.sched, err = sched.New(params.Scheduler, params.ActiveWarps, params.GreedyScheduler); err != nil {
+		return nil, fmt.Errorf("sm: %w", err)
 	}
+	if s.disp, err = dispatch.New(spec.Source, spec.ResidentCTAs, &s.counters); err != nil {
+		return nil, fmt.Errorf("sm: %w", err)
+	}
+	s.mem = memsys.New(memsys.Config{
+		CacheBytes:   cfg.CacheBytes,
+		CacheLatency: params.CacheLatency,
+		TexLatency:   params.TexLatency,
+		DRAMLatency:  params.DRAM.LatencyCycles,
+		MaxMSHRs:     params.MaxMSHRs,
+		WriteBack:    params.WriteBackCache,
+	}, mem, &s.counters)
 	return s, nil
 }
 
@@ -268,22 +194,11 @@ func (s *SM) StartAt(cycle int64) {
 	if s.prof != nil {
 		s.prof.Begin(&s.counters, cycle)
 	}
-	for slot := range s.ctas {
-		if s.nextCTA < s.totalCTAs {
-			s.launch(slot)
-		}
-	}
-	resident := 0
-	for _, c := range s.ctas {
-		if c.id >= 0 {
-			resident++
-		}
-	}
-	s.counters.MaxResidentThreads = resident * s.warpsPer * isa.WarpSize
+	s.disp.Start(cycle)
 }
 
 // Done reports whether every warp of the grid has exited.
-func (s *SM) Done() bool { return s.started && s.liveWarps == 0 }
+func (s *SM) Done() bool { return s.started && s.disp.Done() }
 
 // Cycle returns the SM's local clock, used by the chip simulator to
 // advance SMs in global time order.
@@ -297,7 +212,7 @@ func (s *SM) Step() error {
 	if s.cycle < s.slotFreeAt {
 		s.cycle = s.slotFreeAt
 	}
-	s.refillActive()
+	s.sched.Refill(s.disp, s.cycle)
 	issued, nextEvent := s.tryIssue()
 	if issued {
 		return nil
@@ -319,10 +234,10 @@ func (s *SM) Step() error {
 // warp exits AND posted tag-port work has drained.
 func (s *SM) Finish() *stats.Counters {
 	s.counters.Cycles = s.cycle
-	if s.tagFreeAt > s.counters.Cycles {
-		s.counters.Cycles = s.tagFreeAt
+	if t := s.mem.TagFreeAt(); t > s.counters.Cycles {
+		s.counters.Cycles = t
 	}
-	s.counters.DirtyLinesEnd = s.l1.DirtyLines()
+	s.counters.DirtyLinesEnd = s.mem.DirtyLines()
 	if s.prof != nil {
 		s.prof.End(s.counters.Cycles)
 	}
@@ -330,37 +245,31 @@ func (s *SM) Finish() *stats.Counters {
 }
 
 // stallReason classifies a failed issue attempt for the observability
-// probe. Each lost slot is charged to exactly one cause, by fixed
-// priority: barrier > MSHR-full > scoreboard > arbitration >
-// bank-conflict > no-ready-warp. Only probed runs call this, on the
-// (cold) no-issue path.
+// probe, reading each component at its boundary: active-set occupancy
+// from the scheduler, warp lifecycle counts from the dispatcher, and the
+// MSHR-saturation window from the memory pipeline. Each lost slot is
+// charged to exactly one cause, by fixed priority: barrier > MSHR-full >
+// scoreboard > arbitration > bank-conflict > no-ready-warp. Only probed
+// runs call this, on the (cold) no-issue path.
 func (s *SM) stallReason() probe.StallReason {
-	if len(s.active) == 0 {
-		barrier, readyLater := 0, 0
-		for i := range s.warps {
-			switch s.warps[i].status {
-			case wBarrier:
-				barrier++
-			case wReady:
-				readyLater++
-			}
-		}
+	if s.sched.Len() == 0 {
+		barrier, readyLater := s.disp.Counts()
 		if barrier > 0 && readyLater == 0 {
 			return probe.StallBarrier
 		}
-		if s.cycle < s.mshrBlockedUntil {
+		if s.cycle < s.mem.MSHRBlockedUntil() {
 			return probe.StallMSHRFull
 		}
 		return probe.StallNoReadyWarp
 	}
 	sawDep, sawSerial, sawArb := false, false, false
-	for _, wIdx := range s.active {
-		w := &s.warps[wIdx]
-		if w.nextIssue > s.cycle {
+	for _, wIdx := range s.sched.Active() {
+		w := s.disp.Warp(wIdx)
+		if w.NextIssue > s.cycle {
 			// The warp holds its own issue stream while bank-conflict
 			// extra cycles of its previous instruction elapse.
 			sawSerial = true
-			if w.arbStall {
+			if w.ArbStall {
 				sawArb = true
 			}
 			continue
@@ -370,7 +279,7 @@ func (s *SM) stallReason() probe.StallReason {
 		sawDep = true
 	}
 	switch {
-	case s.cycle < s.mshrBlockedUntil:
+	case s.cycle < s.mem.MSHRBlockedUntil():
 		return probe.StallMSHRFull
 	case sawDep:
 		return probe.StallScoreboard
@@ -393,63 +302,10 @@ func (s *SM) Run() (*stats.Counters, error) {
 	return s.Finish(), nil
 }
 
-// launch populates a CTA slot with the next grid CTA.
-func (s *SM) launch(slot int) {
-	c := &s.ctas[slot]
-	c.id = s.nextCTA
-	s.nextCTA++
-	c.liveWarps = s.warpsPer
-	c.barWaits = 0
-	for i, wIdx := range c.warps {
-		w := &s.warps[wIdx]
-		*w = warp{
-			status:  wReady,
-			ctaSlot: slot,
-			trace:   s.src.WarpTrace(c.id, i),
-			wakeAt:  s.cycle,
-		}
-		s.liveWarps++
-	}
-	s.counters.ThreadsRun += int64(s.warpsPer) * isa.WarpSize
-}
-
-// refillActive promotes ready warps into vacant active-set slots,
-// oldest-wakeup first.
-func (s *SM) refillActive() {
-	for len(s.active) < s.params.ActiveWarps {
-		best, bestWake := -1, int64(0)
-		for i := range s.warps {
-			w := &s.warps[i]
-			if w.status == wReady && w.wakeAt <= s.cycle {
-				if best < 0 || w.wakeAt < bestWake {
-					best, bestWake = i, w.wakeAt
-				}
-			}
-		}
-		if best < 0 {
-			return
-		}
-		s.warps[best].status = wActive
-		s.active = append(s.active, best)
-	}
-}
-
-// deactivate removes the active-set entry at position pos.
-func (s *SM) deactivate(pos int) {
-	s.active = append(s.active[:pos], s.active[pos+1:]...)
-	if s.rr > pos {
-		s.rr--
-	}
-	if len(s.active) > 0 {
-		s.rr %= len(s.active)
-	} else {
-		s.rr = 0
-	}
-}
-
-// tryIssue attempts to issue one warp instruction from the active set,
-// round robin. It returns whether an instruction issued and, if not, the
-// earliest future cycle at which something may become issueable.
+// tryIssue attempts to issue one warp instruction from the active set in
+// the scheduling policy's priority order. It returns whether an
+// instruction issued and, if not, the earliest future cycle at which
+// something may become issueable.
 func (s *SM) tryIssue() (bool, int64) {
 	nextEvent := int64(1 << 62)
 	note := func(t int64) {
@@ -458,63 +314,54 @@ func (s *SM) tryIssue() (bool, int64) {
 		}
 	}
 	// Wake-ups of ready and barrier-released warps are future events.
-	for i := range s.warps {
-		w := &s.warps[i]
-		if w.status == wReady && w.wakeAt > s.cycle {
-			note(w.wakeAt)
+	for i := 0; i < s.disp.NumWarps(); i++ {
+		if wake, ok := s.disp.ReadyAt(i); ok && wake > s.cycle {
+			note(wake)
 		}
 	}
 
-	n := len(s.active)
-	for k := 0; k < n; k++ {
-		pos := (s.rr + k) % n
-		wIdx := s.active[pos]
-		w := &s.warps[wIdx]
-		wi := &w.trace[w.pc]
+	issued := s.sched.Walk(func(wIdx int) sched.Action {
+		w := s.disp.Warp(wIdx)
+		wi := &w.Trace[w.PC]
 
-		if w.nextIssue > s.cycle {
-			note(w.nextIssue)
-			continue
+		if w.NextIssue > s.cycle {
+			note(w.NextIssue)
+			return sched.Keep
 		}
 		depReady := int64(0)
 		for _, src := range wi.Srcs {
 			if src.Reg != isa.NoReg {
-				if t := w.regReady[src.Reg]; t > depReady {
+				if t := w.RegReady[src.Reg]; t > depReady {
 					depReady = t
 				}
 			}
 		}
 		if depReady > s.cycle {
-			if depReady-s.cycle > s.params.DeschedulePast {
-				// Two-level scheduler: swap out on long-latency dependence.
-				w.status = wReady
-				w.wakeAt = depReady
-				s.deactivate(pos)
-				note(depReady)
-				n = len(s.active)
-				k--
-				continue
-			}
 			note(depReady)
-			continue
+			if depReady-s.cycle > s.params.DeschedulePast {
+				// Two-level rule: swap out on a long-latency dependence.
+				w.Status = dispatch.Ready
+				w.WakeAt = depReady
+				return sched.Deschedule
+			}
+			return sched.Keep
 		}
-
-		s.issue(pos, wIdx, wi)
-		return true, 0
-	}
-	return false, nextEvent
+		return s.issue(wIdx, w, wi)
+	})
+	return issued, nextEvent
 }
 
-// issue executes one warp instruction.
-func (s *SM) issue(pos, wIdx int, wi *isa.WarpInst) {
-	w := &s.warps[wIdx]
+// issue executes one warp instruction and reports to the scheduler
+// whether the warp stays in the active set (Issued) or leaves it on a
+// barrier or exit (IssuedGone).
+func (s *SM) issue(wIdx int, w *dispatch.Warp, wi *isa.WarpInst) sched.Action {
 	out := s.bankModel.Evaluate(wi)
 	if s.prof != nil {
 		s.prof.Issue(s.cycle)
 		acc, conf := s.prof.Heat()
 		s.bankModel.HeatInto(acc, conf)
 	}
-	w.arbStall = out.Arbitration && out.ExtraCycles > 0
+	w.ArbStall = out.Arbitration && out.ExtraCycles > 0
 	s.counters.WarpInsts++
 	s.counters.ThreadInsts += int64(wi.ActiveThreads())
 	if wi.Spill {
@@ -524,23 +371,17 @@ func (s *SM) issue(pos, wIdx int, wi *isa.WarpInst) {
 	if out.Arbitration {
 		s.counters.ArbitrationConflicts++
 	}
-	s.countRegAccesses(wi)
+	s.counters.RecordRegAccesses(wi)
 
 	// Bank-conflict serialization follows the paper's §6.1 model: each
 	// access beyond the first to the most-contended bank delays *this*
 	// instruction by one cycle — the issuing warp holds its own issue
 	// stream and its result arrives late, but other warps keep issuing.
-	// (The paper's model tracks only within-instruction conflicts and
-	// notes it is pessimistic; it has no cross-instruction bank port
-	// contention, and neither does this simulator.)
+	// (The model tracks only within-instruction conflicts, as the paper's
+	// does; there is no cross-instruction bank port contention.)
 	extra := int64(out.ExtraCycles)
 	s.slotFreeAt = s.cycle + 1
-	w.nextIssue = s.cycle + 1 + extra
-	if s.params.GreedyScheduler {
-		s.rr = pos % len(s.active) // greedy: stay on this warp
-	} else {
-		s.rr = (pos + 1) % len(s.active)
-	}
+	w.NextIssue = s.cycle + 1 + extra
 
 	complete := s.cycle + 1
 	switch wi.Op {
@@ -554,362 +395,35 @@ func (s *SM) issue(pos, wIdx int, wi *isa.WarpInst) {
 	case isa.OpSTS:
 		s.counters.SharedWrites += int64(out.MemAccesses)
 	case isa.OpLDG:
-		complete = s.globalLoad(wi, extra)
+		var accs []memsys.Access
+		complete, accs = s.mem.Load(wi, s.cycle, extra)
+		if s.prof != nil {
+			for i := range accs {
+				s.prof.MemAccess(&accs[i])
+			}
+		}
 	case isa.OpSTG:
-		s.globalStore(wi, extra)
+		s.mem.Store(wi, s.cycle, extra)
 	case isa.OpTEX:
-		complete = s.texFetch(wi)
+		complete = s.mem.Tex(wi, s.cycle)
 	case isa.OpBAR:
-		s.barrier(pos, wIdx)
-		return
+		s.disp.Barrier(wIdx, s.cycle)
+		return sched.IssuedGone
 	case isa.OpEXIT:
-		s.exit(pos, wIdx)
-		return
+		s.disp.Exit(wIdx, s.cycle)
+		return sched.IssuedGone
 	}
 
 	if wi.Dst.Reg != isa.NoReg {
-		if complete > w.regReady[wi.Dst.Reg] {
-			w.regReady[wi.Dst.Reg] = complete
+		if complete > w.RegReady[wi.Dst.Reg] {
+			w.RegReady[wi.Dst.Reg] = complete
 		}
 	}
-	w.pc++
-}
-
-// countRegAccesses files register hierarchy events for the energy model.
-func (s *SM) countRegAccesses(wi *isa.WarpInst) {
-	for _, src := range wi.Srcs {
-		switch {
-		case !src.Valid():
-		case src.Space == isa.SpaceMRF:
-			s.counters.MRFReads++
-		case src.Space == isa.SpaceORF:
-			s.counters.ORFReads++
-		case src.Space == isa.SpaceLRF:
-			s.counters.LRFReads++
-		}
-	}
-	if wi.Dst.Valid() {
-		switch wi.Dst.Space {
-		case isa.SpaceMRF:
-			s.counters.MRFWrites++
-		case isa.SpaceORF:
-			s.counters.ORFWrites++
-		case isa.SpaceLRF:
-			s.counters.LRFWrites++
-		}
-		if wi.DstMRFWrite && wi.Dst.Space != isa.SpaceMRF {
-			s.counters.MRFWrites++
-		}
-	}
-}
-
-// memRead issues a DRAM read and accounts its bytes.
-func (s *SM) memRead(now int64, addr uint32, bytes int) int64 {
-	s.counters.DRAMReadBytes += int64(bytes)
-	return s.mem.Read(now, addr, bytes)
-}
-
-// memWrite posts a DRAM write and accounts its bytes.
-func (s *SM) memWrite(now int64, addr uint32, bytes int) {
-	s.counters.DRAMWriteBytes += int64(bytes)
-	s.mem.Write(now, addr, bytes)
-}
-
-// distinctAddrs counts the distinct per-thread addresses of a memory
-// instruction: even without a cache, the load/store unit merges threads
-// that access the same address (broadcast reads cost one transaction).
-func (s *SM) distinctAddrs(wi *isa.WarpInst) int {
-	var buf [isa.WarpSize]uint32
-	n := 0
-	for t := 0; t < isa.WarpSize; t++ {
-		if wi.Mask&(1<<uint(t)) == 0 {
-			continue
-		}
-		a := wi.Addrs[t]
-		dup := false
-		for i := 0; i < n; i++ {
-			if buf[i] == a {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			buf[n] = a
-			n++
-		}
-	}
-	return n
-}
-
-// sectorBytes is the DRAM fetch granularity within a cache line: misses
-// fetch only the 32-byte sectors the warp actually touches (sectored
-// fill, as in Fermi-class memory systems), so sparse gathers do not pay
-// for full 128-byte lines.
-const sectorBytes = 32
-
-// lines collects the distinct cache lines touched by a memory instruction
-// (in lane order) and, in sectors, a parallel bitmask of the 32-byte
-// sectors touched within each line. sectors may be nil when masks are not
-// needed.
-func (s *SM) lines(wi *isa.WarpInst, buf []uint32, sectors []uint8) ([]uint32, []uint8) {
-	buf = buf[:0]
-	if sectors != nil {
-		sectors = sectors[:0]
-	}
-	for t := 0; t < isa.WarpSize; t++ {
-		if wi.Mask&(1<<uint(t)) == 0 {
-			continue
-		}
-		line := wi.Addrs[t] / config.CacheLineBytes
-		sector := uint8(1) << (wi.Addrs[t] % config.CacheLineBytes / sectorBytes)
-		dup := false
-		for i, l := range buf {
-			if l == line {
-				dup = true
-				if sectors != nil {
-					sectors[i] |= sector
-				}
-				break
-			}
-		}
-		if !dup {
-			buf = append(buf, line)
-			if sectors != nil {
-				sectors = append(sectors, sector)
-			}
-		}
-	}
-	return buf, sectors
-}
-
-// popcount8 counts set bits in a sector mask.
-func popcount8(x uint8) int {
-	n := 0
-	for x != 0 {
-		x &= x - 1
-		n++
-	}
-	return n
-}
-
-// uncachedGranule is the per-thread DRAM transaction size when no data
-// cache is configured. The cache doubles as the SM's coalescing buffer
-// (Section 3.1's "bandwidth amplification"): without one, each active
-// thread's access becomes its own minimum-size DRAM transaction. This is
-// what makes the paper's 0 KB column 3-4x worse for streaming kernels
-// (vectoradd 3.88x) yet slightly *better* for needle, whose scattered
-// accesses use only a fraction of each 128-byte line a cache would fetch.
-const uncachedGranule = 16
-
-// globalLoad performs an LDG: per distinct line, one tag lookup (single
-// tag port), then a hit (cache latency), an in-flight merge, or a miss
-// (DRAM fetch of the full 128-byte line). Returns the cycle the register
-// result is ready.
-func (s *SM) globalLoad(wi *isa.WarpInst, extra int64) int64 {
-	if !s.cacheEnabled() {
-		return s.memRead(s.cycle, wi.Addrs[0], uncachedGranule*s.distinctAddrs(wi))
-	}
-	var lineBuf [isa.WarpSize]uint32
-	var sectorBuf [isa.WarpSize]uint8
-	lines, sectors := s.lines(wi, lineBuf[:], sectorBuf[:])
-
-	start := s.cycle
-	if s.tagFreeAt > start {
-		start = s.tagFreeAt
-	}
-	// Unified-design bank conflicts on the line accesses serialize on the
-	// cache port alongside the tag lookups.
-	s.tagFreeAt = start + int64(len(lines)) + extra
-
-	worst := s.cycle + s.params.CacheLatency
-	for i, line := range lines {
-		lookup := start + int64(i)
-		s.counters.CacheProbes++
-		var ready int64
-		if done, ok := s.pending[line]; ok && done > lookup {
-			// Merge with an in-flight fill (MSHR hit).
-			ready = done
-			s.counters.CacheHits++
-			s.counters.CacheDataReads++
-		} else {
-			if ok {
-				delete(s.pending, line)
-			}
-			if s.params.MaxMSHRs > 0 && len(s.pending) >= s.params.MaxMSHRs {
-				// All miss entries in flight: the lookup stalls until the
-				// earliest outstanding fill returns. Ties on the ready
-				// cycle break by line number so the choice never depends
-				// on map iteration order (runs must be bit-reproducible).
-				earliest := int64(1 << 62)
-				var oldest uint32
-				for l, done := range s.pending {
-					if done < earliest || (done == earliest && l < oldest) {
-						earliest, oldest = done, l
-					}
-				}
-				delete(s.pending, oldest)
-				if earliest > lookup {
-					lookup = earliest
-					// The issue slots until the entry retires are lost
-					// to MSHR pressure; the stall classifier gives this
-					// window priority over plain scoreboard waits.
-					if earliest > s.mshrBlockedUntil {
-						s.mshrBlockedUntil = earliest
-					}
-				}
-			}
-			hit := false
-			if s.params.WriteBackCache {
-				var victimDirty bool
-				var victim uint32
-				hit, victimDirty, victim = s.l1.AccessAllocate(line, false)
-				if victimDirty {
-					// Dirty eviction: read the victim from the data
-					// array and write the full line back to DRAM.
-					s.counters.CacheDataReads++
-					s.memWrite(lookup, victim*config.CacheLineBytes, config.CacheLineBytes)
-				}
-			} else {
-				hit = s.l1.Read(line)
-			}
-			if hit {
-				ready = lookup + s.params.CacheLatency
-				s.counters.CacheHits++
-				s.counters.CacheDataReads++
-			} else {
-				// Sectored fill: fetch only the touched 32-byte sectors.
-				ready = s.memRead(lookup, line*config.CacheLineBytes, popcount8(sectors[i])*sectorBytes)
-				s.counters.CacheMisses++
-				// The line is already installed; remember when its data
-				// actually arrives.
-				s.pending[line] = ready
-				s.counters.CacheDataWrites++ // fill
-			}
-		}
-		if ready > worst {
-			worst = ready
-		}
-	}
-	return worst
-}
-
-// cacheEnabled reports whether a data cache is configured.
-func (s *SM) cacheEnabled() bool { return s.cfg.CacheBytes > 0 }
-
-// globalStore performs an STG: write-through (bytes to DRAM) and
-// no-write-allocate (present lines refreshed, absent lines ignored).
-func (s *SM) globalStore(wi *isa.WarpInst, extra int64) {
-	if !s.cacheEnabled() {
-		// No coalescing buffer: per-thread minimum-size transactions.
-		s.memWrite(s.cycle, wi.Addrs[0], uncachedGranule*s.distinctAddrs(wi))
-		return
-	}
-	var lineBuf [isa.WarpSize]uint32
-	lines, _ := s.lines(wi, lineBuf[:], nil)
-	start := s.cycle
-	if s.tagFreeAt > start {
-		start = s.tagFreeAt
-	}
-	s.tagFreeAt = start + int64(len(lines)) + extra
-	if s.params.WriteBackCache {
-		// Write-allocate: install each line dirty; misses fetch the line
-		// and dirty victims write back. No write-through traffic.
-		for _, line := range lines {
-			s.counters.CacheProbes++
-			hit, victimDirty, victim := s.l1.AccessAllocate(line, true)
-			s.counters.CacheDataWrites++
-			if !hit {
-				s.memRead(start, line*config.CacheLineBytes, config.CacheLineBytes)
-				s.counters.CacheMisses++
-			} else {
-				s.counters.CacheHits++
-			}
-			if victimDirty {
-				s.counters.CacheDataReads++
-				s.memWrite(start, victim*config.CacheLineBytes, config.CacheLineBytes)
-			}
-		}
-		return
-	}
-	for _, line := range lines {
-		s.counters.CacheProbes++
-		if s.l1.Write(line) {
-			s.counters.CacheDataWrites++
-		}
-	}
-	s.memWrite(start, wi.Addrs[0], 4*wi.ActiveThreads())
-}
-
-// texFetch performs a TEX: the texture path bypasses the primary data
-// cache (it has its own sampler pipeline), so it is modeled as a fixed
-// long-latency DRAM read per distinct line.
-func (s *SM) texFetch(wi *isa.WarpInst) int64 {
-	var lineBuf [isa.WarpSize]uint32
-	var sectorBuf [isa.WarpSize]uint8
-	lines, sectors := s.lines(wi, lineBuf[:], sectorBuf[:])
-	worst := s.cycle + s.params.TexLatency
-	for i := range lines {
-		done := s.memRead(s.cycle, lines[i]*config.CacheLineBytes, popcount8(sectors[i])*sectorBytes) -
-			s.params.DRAM.LatencyCycles + s.params.TexLatency
-		if done > worst {
-			worst = done
-		}
-	}
-	return worst
-}
-
-// barrier blocks the warp until all live warps of its CTA arrive.
-func (s *SM) barrier(pos, wIdx int) {
-	w := &s.warps[wIdx]
-	c := &s.ctas[w.ctaSlot]
-	w.pc++
-	w.status = wBarrier
-	s.deactivate(pos)
-	c.barWaits++
-	if c.barWaits >= c.liveWarps {
-		c.barWaits = 0
-		for _, idx := range c.warps {
-			ww := &s.warps[idx]
-			if ww.status == wBarrier {
-				ww.status = wReady
-				ww.wakeAt = s.cycle + 1
-			}
-		}
-	}
-}
-
-// exit retires the warp and, when its CTA drains, launches the next grid
-// CTA into the freed slot.
-func (s *SM) exit(pos, wIdx int) {
-	w := &s.warps[wIdx]
-	c := &s.ctas[w.ctaSlot]
-	w.status = wDone
-	w.trace = nil
-	s.deactivate(pos)
-	s.liveWarps--
-	c.liveWarps--
-	if c.liveWarps == 0 {
-		s.counters.CTAsRetired++
-		slot := w.ctaSlot
-		c.id = -1
-		if s.nextCTA < s.totalCTAs {
-			s.launch(slot)
-		}
-	} else if c.barWaits >= c.liveWarps && c.barWaits > 0 {
-		// The exiting warp may have been the last one holding up a
-		// barrier (warps that exit early release their CTA-mates).
-		c.barWaits = 0
-		for _, idx := range c.warps {
-			ww := &s.warps[idx]
-			if ww.status == wBarrier {
-				ww.status = wReady
-				ww.wakeAt = s.cycle + 1
-			}
-		}
-	}
+	w.PC++
+	return sched.Issued
 }
 
 // DirtyCacheLines returns the number of modified lines resident in the
 // cache at the end of a run — the flush a write-back design would need on
 // repartitioning (always zero for write-through).
-func (s *SM) DirtyCacheLines() int { return s.l1.DirtyLines() }
+func (s *SM) DirtyCacheLines() int { return s.mem.DirtyLines() }

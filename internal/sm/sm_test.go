@@ -23,6 +23,11 @@ func build(f func(b *kgen.Builder)) []isa.WarpInst {
 	return b.Finish()
 }
 
+// newSM is the tests' shorthand for NewSM with the common Spec fields.
+func newSM(cfg config.MemConfig, params Params, src TraceSource, residentCTAs int) (*SM, error) {
+	return NewSM(Spec{Config: cfg, Params: params, Source: src, ResidentCTAs: residentCTAs})
+}
+
 func TestSingleWarpALUChain(t *testing.T) {
 	// A dependent ALU chain of N instructions: each waits 8 cycles for
 	// its predecessor, so runtime is close to 8*N.
@@ -35,7 +40,7 @@ func TestSingleWarpALUChain(t *testing.T) {
 			}
 		})
 	}}
-	s, err := New(config.Baseline(), DefaultParams(), src, 1)
+	s, err := newSM(config.Baseline(), DefaultParams(), src, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +67,7 @@ func TestIndependentWarpsHideLatency(t *testing.T) {
 			}
 		})
 	}
-	one, err := New(config.Baseline(), DefaultParams(), funcSource{1, 1, chain}, 1)
+	one, err := newSM(config.Baseline(), DefaultParams(), funcSource{1, 1, chain}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +75,7 @@ func TestIndependentWarpsHideLatency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eight, err := New(config.Baseline(), DefaultParams(), funcSource{1, 8, chain}, 1)
+	eight, err := newSM(config.Baseline(), DefaultParams(), funcSource{1, 8, chain}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,12 +104,12 @@ func TestCacheHitVersusMissLatency(t *testing.T) {
 	cached := config.Baseline()
 	uncached := config.Baseline()
 	uncached.CacheBytes = 0
-	sC, _ := New(cached, DefaultParams(), funcSource{1, 1, gen}, 1)
+	sC, _ := newSM(cached, DefaultParams(), funcSource{1, 1, gen}, 1)
 	cC, err := sC.Run()
 	if err != nil {
 		t.Fatal(err)
 	}
-	sU, _ := New(uncached, DefaultParams(), funcSource{1, 1, gen}, 1)
+	sU, _ := newSM(uncached, DefaultParams(), funcSource{1, 1, gen}, 1)
 	cU, err := sU.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -132,7 +137,7 @@ func TestWriteThroughTraffic(t *testing.T) {
 			}
 		})
 	}
-	s, _ := New(config.Baseline(), DefaultParams(), funcSource{1, 1, gen}, 1)
+	s, _ := newSM(config.Baseline(), DefaultParams(), funcSource{1, 1, gen}, 1)
 	c, err := s.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -160,7 +165,7 @@ func TestBarrierSynchronizesCTA(t *testing.T) {
 			b.ALU(1)
 		})
 	}
-	s, _ := New(config.Baseline(), DefaultParams(), funcSource{1, 2, gen}, 1)
+	s, _ := newSM(config.Baseline(), DefaultParams(), funcSource{1, 2, gen}, 1)
 	c, err := s.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -181,7 +186,7 @@ func TestBarrierReleasedByExitingWarp(t *testing.T) {
 			b.ALU(1)
 		})
 	}
-	s, _ := New(config.Baseline(), DefaultParams(), funcSource{1, 2, gen}, 1)
+	s, _ := newSM(config.Baseline(), DefaultParams(), funcSource{1, 2, gen}, 1)
 	if _, err := s.Run(); err != nil {
 		t.Fatalf("CTA with early-exiting warp deadlocked: %v", err)
 	}
@@ -195,7 +200,7 @@ func TestCTARotation(t *testing.T) {
 			b.ALU(1, 0)
 		})
 	}
-	s, _ := New(config.Baseline(), DefaultParams(), funcSource{6, 2, gen}, 2)
+	s, _ := newSM(config.Baseline(), DefaultParams(), funcSource{6, 2, gen}, 2)
 	c, err := s.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -225,12 +230,12 @@ func TestMoreResidentCTAsHideDRAMLatency(t *testing.T) {
 	}
 	cfg := config.Baseline()
 	cfg.CacheBytes = 0 // force DRAM on every access
-	one, _ := New(cfg, DefaultParams(), funcSource{8, 2, gen}, 1)
+	one, _ := newSM(cfg, DefaultParams(), funcSource{8, 2, gen}, 1)
 	c1, err := one.Run()
 	if err != nil {
 		t.Fatal(err)
 	}
-	four, _ := New(cfg, DefaultParams(), funcSource{8, 2, gen}, 4)
+	four, _ := newSM(cfg, DefaultParams(), funcSource{8, 2, gen}, 4)
 	c4, err := four.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -253,12 +258,12 @@ func TestBankConflictsSlowExecution(t *testing.T) {
 			})
 		}
 	}
-	sNice, _ := New(config.Baseline(), DefaultParams(), funcSource{1, 1, gen(1)}, 1)
+	sNice, _ := newSM(config.Baseline(), DefaultParams(), funcSource{1, 1, gen(1)}, 1)
 	cNice, err := sNice.Run()
 	if err != nil {
 		t.Fatal(err)
 	}
-	sBad, _ := New(config.Baseline(), DefaultParams(), funcSource{1, 1, gen(32)}, 1)
+	sBad, _ := newSM(config.Baseline(), DefaultParams(), funcSource{1, 1, gen(32)}, 1)
 	cBad, err := sBad.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -286,7 +291,7 @@ func TestTwoLevelSchedulerDeschedulesOnMiss(t *testing.T) {
 	}
 	cfg := config.Baseline()
 	cfg.CacheBytes = 0
-	s, _ := New(cfg, DefaultParams(), funcSource{1, 16, gen}, 1)
+	s, _ := newSM(cfg, DefaultParams(), funcSource{1, 16, gen}, 1)
 	c, err := s.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -310,12 +315,12 @@ func TestSpilledTraceRunsSlower(t *testing.T) {
 			return b.Finish()
 		}
 	}
-	sFull, _ := New(config.Baseline(), DefaultParams(), funcSource{1, 1, gen(0)}, 1)
+	sFull, _ := newSM(config.Baseline(), DefaultParams(), funcSource{1, 1, gen(0)}, 1)
 	cFull, err := sFull.Run()
 	if err != nil {
 		t.Fatal(err)
 	}
-	sSpill, _ := New(config.Baseline(), DefaultParams(), funcSource{1, 1, gen(8)}, 1)
+	sSpill, _ := newSM(config.Baseline(), DefaultParams(), funcSource{1, 1, gen(8)}, 1)
 	cSpill, err := sSpill.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -335,13 +340,13 @@ func TestSpilledTraceRunsSlower(t *testing.T) {
 
 func TestRejectsOversubscription(t *testing.T) {
 	gen := func(_, _ int) []isa.WarpInst { return build(func(b *kgen.Builder) { b.ALU(0) }) }
-	if _, err := New(config.Baseline(), DefaultParams(), funcSource{1, 8, gen}, 5); err == nil {
+	if _, err := newSM(config.Baseline(), DefaultParams(), funcSource{1, 8, gen}, 5); err == nil {
 		t.Error("40 warps should exceed the 32-warp SM limit")
 	}
-	if _, err := New(config.Baseline(), DefaultParams(), funcSource{1, 0, gen}, 1); err == nil {
+	if _, err := newSM(config.Baseline(), DefaultParams(), funcSource{1, 0, gen}, 1); err == nil {
 		t.Error("zero warps per CTA should be rejected")
 	}
-	if _, err := New(config.Baseline(), DefaultParams(), funcSource{1, 1, gen}, 0); err == nil {
+	if _, err := newSM(config.Baseline(), DefaultParams(), funcSource{1, 1, gen}, 0); err == nil {
 		t.Error("zero resident CTAs should be rejected")
 	}
 }
@@ -362,12 +367,12 @@ func TestArbitrationConflictsOnlyUnified(t *testing.T) {
 		return b.Finish()
 	}
 	uniCfg := config.MemConfig{Design: config.Unified, RFBytes: 256 << 10, SharedBytes: 64 << 10, CacheBytes: 64 << 10}
-	sU, _ := New(uniCfg, DefaultParams(), funcSource{1, 1, gen}, 1)
+	sU, _ := newSM(uniCfg, DefaultParams(), funcSource{1, 1, gen}, 1)
 	cU, err := sU.Run()
 	if err != nil {
 		t.Fatal(err)
 	}
-	sP, _ := New(config.Baseline(), DefaultParams(), funcSource{1, 1, gen}, 1)
+	sP, _ := newSM(config.Baseline(), DefaultParams(), funcSource{1, 1, gen}, 1)
 	cP, err := sP.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -389,7 +394,7 @@ func TestRegisterHierarchyCountersPopulated(t *testing.T) {
 			}
 		})
 	}
-	s, _ := New(config.Baseline(), DefaultParams(), funcSource{1, 1, gen}, 1)
+	s, _ := newSM(config.Baseline(), DefaultParams(), funcSource{1, 1, gen}, 1)
 	c, err := s.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -409,7 +414,7 @@ func TestTexFetchLongLatency(t *testing.T) {
 			b.ALU(1, 0)
 		})
 	}
-	s, _ := New(config.Baseline(), DefaultParams(), funcSource{1, 1, gen}, 1)
+	s, _ := newSM(config.Baseline(), DefaultParams(), funcSource{1, 1, gen}, 1)
 	c, err := s.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -437,7 +442,7 @@ func TestUncachedModePerThreadTransactions(t *testing.T) {
 	}
 	cfg := config.Baseline()
 	cfg.CacheBytes = 0
-	s, _ := New(cfg, DefaultParams(), funcSource{1, 1, gen}, 1)
+	s, _ := newSM(cfg, DefaultParams(), funcSource{1, 1, gen}, 1)
 	c, err := s.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -457,7 +462,7 @@ func TestSectoredFills(t *testing.T) {
 			b.ALU(2, 1)
 		})
 	}
-	s, _ := New(config.Baseline(), DefaultParams(), funcSource{1, 1, gen}, 1)
+	s, _ := newSM(config.Baseline(), DefaultParams(), funcSource{1, 1, gen}, 1)
 	c, err := s.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -480,7 +485,7 @@ func TestWriteBackMode(t *testing.T) {
 	}
 	p := DefaultParams()
 	p.WriteBackCache = true
-	s, _ := New(config.Baseline(), p, funcSource{1, 1, gen}, 1)
+	s, _ := newSM(config.Baseline(), p, funcSource{1, 1, gen}, 1)
 	c, err := s.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -506,12 +511,12 @@ func TestStepAPIMatchesRun(t *testing.T) {
 			}
 		})
 	}
-	run, _ := New(config.Baseline(), DefaultParams(), funcSource{2, 2, gen}, 2)
+	run, _ := newSM(config.Baseline(), DefaultParams(), funcSource{2, 2, gen}, 2)
 	want, err := run.Run()
 	if err != nil {
 		t.Fatal(err)
 	}
-	stepped, _ := New(config.Baseline(), DefaultParams(), funcSource{2, 2, gen}, 2)
+	stepped, _ := newSM(config.Baseline(), DefaultParams(), funcSource{2, 2, gen}, 2)
 	stepped.Start()
 	for !stepped.Done() {
 		if err := stepped.Step(); err != nil {
@@ -529,7 +534,7 @@ func TestStartAtOffsetsClock(t *testing.T) {
 	gen := func(_, _ int) []isa.WarpInst {
 		return build(func(b *kgen.Builder) { b.ALU(0) })
 	}
-	s, _ := New(config.Baseline(), DefaultParams(), funcSource{1, 1, gen}, 1)
+	s, _ := newSM(config.Baseline(), DefaultParams(), funcSource{1, 1, gen}, 1)
 	s.StartAt(1000)
 	for !s.Done() {
 		if err := s.Step(); err != nil {
@@ -548,7 +553,7 @@ func TestMaskedInstructionThreadCount(t *testing.T) {
 		b.STG(0, isa.NoReg, kgen.Coalesced(0, 4))
 		return b.Finish()
 	}
-	s, _ := New(config.Baseline(), DefaultParams(), funcSource{1, 1, gen}, 1)
+	s, _ := newSM(config.Baseline(), DefaultParams(), funcSource{1, 1, gen}, 1)
 	c, err := s.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -574,7 +579,7 @@ func TestGreedySchedulerIssuesRuns(t *testing.T) {
 	}
 	p := DefaultParams()
 	p.GreedyScheduler = true
-	s, _ := New(config.Baseline(), p, funcSource{4, 4, gen}, 2)
+	s, _ := newSM(config.Baseline(), p, funcSource{4, 4, gen}, 2)
 	c, err := s.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -582,7 +587,7 @@ func TestGreedySchedulerIssuesRuns(t *testing.T) {
 	if c.CTAsRetired != 4 {
 		t.Errorf("GTO starved CTAs: retired %d of 4", c.CTAsRetired)
 	}
-	rr, _ := New(config.Baseline(), DefaultParams(), funcSource{4, 4, gen}, 2)
+	rr, _ := newSM(config.Baseline(), DefaultParams(), funcSource{4, 4, gen}, 2)
 	cr, err := rr.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -607,12 +612,12 @@ func TestMSHRLimitThrottlesMisses(t *testing.T) {
 	}
 	limited := DefaultParams()
 	limited.MaxMSHRs = 2
-	sL, _ := New(config.Baseline(), limited, funcSource{2, 4, gen}, 2)
+	sL, _ := newSM(config.Baseline(), limited, funcSource{2, 4, gen}, 2)
 	cL, err := sL.Run()
 	if err != nil {
 		t.Fatal(err)
 	}
-	sU, _ := New(config.Baseline(), DefaultParams(), funcSource{2, 4, gen}, 2)
+	sU, _ := newSM(config.Baseline(), DefaultParams(), funcSource{2, 4, gen}, 2)
 	cU, err := sU.Run()
 	if err != nil {
 		t.Fatal(err)

@@ -6,7 +6,11 @@
 // bytes).
 package stats
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
 
 // ConflictBuckets is the number of buckets in the bank-conflict histogram:
 // <=1, 2, 3, 4, >4 maximum accesses to a single bank per warp instruction
@@ -84,6 +88,35 @@ func (c *Counters) RecordConflict(maxAccesses int) {
 	}
 	c.ConflictHist[bucket]++
 	c.ConflictCycles += int64(maxAccesses - 1)
+}
+
+// RecordRegAccesses files one warp instruction's register hierarchy
+// events (per-space operand reads and writes) for the energy model.
+func (c *Counters) RecordRegAccesses(wi *isa.WarpInst) {
+	for _, src := range wi.Srcs {
+		switch {
+		case !src.Valid():
+		case src.Space == isa.SpaceMRF:
+			c.MRFReads++
+		case src.Space == isa.SpaceORF:
+			c.ORFReads++
+		case src.Space == isa.SpaceLRF:
+			c.LRFReads++
+		}
+	}
+	if wi.Dst.Valid() {
+		switch wi.Dst.Space {
+		case isa.SpaceMRF:
+			c.MRFWrites++
+		case isa.SpaceORF:
+			c.ORFWrites++
+		case isa.SpaceLRF:
+			c.LRFWrites++
+		}
+		if wi.DstMRFWrite && wi.Dst.Space != isa.SpaceMRF {
+			c.MRFWrites++
+		}
+	}
 }
 
 // DRAMBytes returns total DRAM traffic in bytes.

@@ -17,7 +17,7 @@ func TestReplayFidelity(t *testing.T) {
 		k := mustKernel(name)
 		src := &workloads.Source{K: k, Seed: 1}
 
-		live, err := sm.New(config.Baseline(), sm.DefaultParams(), src, 4)
+		live, err := sm.NewSM(sm.Spec{Config: config.Baseline(), Params: sm.DefaultParams(), Source: src, ResidentCTAs: 4})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -34,7 +34,7 @@ func TestReplayFidelity(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		replay, err := sm.New(config.Baseline(), sm.DefaultParams(), loaded, 4)
+		replay, err := sm.NewSM(sm.Spec{Config: config.Baseline(), Params: sm.DefaultParams(), Source: loaded, ResidentCTAs: 4})
 		if err != nil {
 			t.Fatal(err)
 		}
