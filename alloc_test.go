@@ -1,0 +1,72 @@
+// The cycle loop's allocation contract: once a simulation's traces are
+// memoized and its scratch structures sized, stepping the SM performs no
+// heap allocation at all. CI gates on this test, so a regression that
+// puts an allocation back on the hot path (a closure that escapes, a map
+// on the issue path, a buffer rebuilt per access) fails loudly instead
+// of showing up as a slow drift in BENCH_results.json.
+package repro_test
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/occupancy"
+	"repro/internal/sm"
+	"repro/internal/workloads"
+)
+
+// newSteadySM builds a baseline-configuration SM with the MSHR table
+// bounded, so every memsys structure is pre-sized (the unbounded model
+// may legitimately double its pending-fill table mid-run).
+func newSteadySM(t *testing.T, name string) *sm.SM {
+	t.Helper()
+	k, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.Baseline()
+	occ := occupancy.Compute(k.Requirements(), cfg, 0)
+	if occ.CTAs < 1 {
+		t.Fatalf("%s does not fit the baseline configuration", name)
+	}
+	params := sm.DefaultParams()
+	params.MaxMSHRs = 64
+	machine, err := sm.NewSM(sm.Spec{
+		Config:       cfg,
+		Params:       params,
+		Source:       &workloads.Source{K: k},
+		ResidentCTAs: occ.CTAs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return machine
+}
+
+// TestCycleLoopSteadyStateAllocFree runs one full simulation to warm the
+// trace cache and scratch high-water marks, then re-runs the same
+// kernel and requires zero heap allocations across the entire second
+// run's cycle loop.
+func TestCycleLoopSteadyStateAllocFree(t *testing.T) {
+	for _, name := range []string{"needle", "bfs"} {
+		warm := newSteadySM(t, name)
+		if _, err := warm.Run(); err != nil {
+			t.Fatal(err)
+		}
+
+		machine := newSteadySM(t, name)
+		machine.Start()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		for !machine.Done() {
+			if err := machine.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		runtime.ReadMemStats(&after)
+		if d := after.Mallocs - before.Mallocs; d != 0 {
+			t.Errorf("%s: %d heap allocations during a warmed cycle loop, want 0", name, d)
+		}
+	}
+}

@@ -8,17 +8,24 @@
 package repro_test
 
 import (
+	"flag"
 	"math"
 	"testing"
 
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/perfbench"
 	"repro/internal/workloads"
 )
 
-// benchExperiment runs a named experiment b.N times, logging the rendered
-// table once.
+// benchTables opts into logging each experiment's rendered table once
+// per benchmark; by default -v output stays a clean metrics stream.
+var benchTables = flag.Bool("benchtables", false, "log each benchmarked experiment's rendered table")
+
+// benchExperiment runs a named experiment b.N times and reports the
+// wall time of one end-to-end regeneration as a metric. The rendered
+// table is logged once, and only under -benchtables.
 func benchExperiment(b *testing.B, name string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
@@ -27,11 +34,18 @@ func benchExperiment(b *testing.B, name string) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if i == 0 {
+		if i == 0 && *benchTables {
 			b.Log("\n" + t.String())
 		}
 	}
+	b.ReportMetric(b.Elapsed().Seconds()/float64(b.N), "sec/experiment")
 }
+
+// BenchmarkCycleLoop measures the steady-state cost of one SM
+// scheduling action (sm.Step) with a hot trace cache — the simulator's
+// innermost loop. CI gates on allocs/op staying zero; see
+// internal/perfbench for the shared measurement body.
+func BenchmarkCycleLoop(b *testing.B) { perfbench.RunCycleLoop(b) }
 
 // BenchmarkTable1 regenerates the 26-workload characterization: per-thread
 // register demand, dynamic-instruction spill ratios at 18-64 registers,
@@ -90,7 +104,7 @@ func BenchmarkFigure9(b *testing.B) {
 			prod *= c.PerfRatio
 		}
 		geomean = math.Pow(prod, 1/float64(len(comps)))
-		if i == 0 {
+		if i == 0 && *benchTables {
 			t, err := harness.Figure9(r)
 			if err != nil {
 				b.Fatal(err)

@@ -23,14 +23,22 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/parallel"
+	"repro/internal/profiling"
 )
 
 func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	chart := flag.Bool("chart", false, "render capacity sweeps as ASCII charts (figure2/3/4/11)")
 	jobs := flag.Int("j", runtime.NumCPU(), "parallel simulation workers (1 = serial)")
+	prof := profiling.AddFlags(flag.CommandLine)
 	flag.Parse()
 	parallel.SetWorkers(*jobs)
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paper:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	names := flag.Args()
 	if len(names) == 0 {

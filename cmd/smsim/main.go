@@ -21,6 +21,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/profiling"
 	"repro/internal/report"
 	"repro/internal/sched"
 	"repro/internal/sm"
@@ -73,7 +74,15 @@ func main() {
 		schedName   = flag.String("sched", "", "warp scheduler: twolevel (default) | gto")
 		list        = flag.Bool("list", false, "list benchmarks and exit")
 	)
+	prof := profiling.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smsim:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	policy, err := sched.ParsePolicy(*schedName)
 	if err != nil {

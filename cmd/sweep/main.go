@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/occupancy"
 	"repro/internal/parallel"
+	"repro/internal/profiling"
 	"repro/internal/report"
 	"repro/internal/sched"
 	"repro/internal/workloads"
@@ -56,8 +57,15 @@ func main() {
 		schedName  = flag.String("sched", "", "warp scheduler: twolevel (default) | gto")
 		csv        = flag.Bool("csv", false, "emit CSV")
 	)
+	prof := profiling.AddFlags(flag.CommandLine)
 	flag.Parse()
 	parallel.SetWorkers(*jobs)
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 	policy, err := sched.ParsePolicy(*schedName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)

@@ -44,6 +44,10 @@ type Model struct {
 	bankMem [config.NumBanks]uint8 // memory data accesses per bank
 	port    [config.NumClusters]uint8
 	granule [isa.WarpSize]uint32 // dedupe scratch
+	// trivial marks that the last Evaluate took the no-bank-traffic fast
+	// path and left the scratch tallies stale; HeatInto must contribute
+	// nothing for such an instruction.
+	trivial bool
 }
 
 // New returns a conflict model for the given design. The FermiLike design
@@ -65,11 +69,38 @@ func NewAggressive(d config.Design) *Model {
 // Design returns the design the model evaluates.
 func (m *Model) Design() config.Design { return m.design }
 
+// Outcomes evaluates every instruction of a trace under one bank-model
+// variant. An Outcome is a pure function of the instruction and the
+// variant, so the result can be memoized and replayed across runs (the
+// trace cache in internal/workloads does exactly that).
+func Outcomes(design config.Design, aggressive bool, insts []isa.WarpInst) []Outcome {
+	m := New(design)
+	if aggressive {
+		m = NewAggressive(design)
+	}
+	out := make([]Outcome, len(insts))
+	for i := range insts {
+		out[i] = m.Evaluate(&insts[i])
+	}
+	return out
+}
+
 // unified reports whether register and memory accesses share banks.
 func (m *Model) unified() bool { return m.design == config.Unified }
 
 // Evaluate computes the bank outcome of one warp instruction.
 func (m *Model) Evaluate(wi *isa.WarpInst) Outcome {
+	// Fast path: an instruction with no MRF operand reads and no memory
+	// addresses touches no bank at all — its outcome is fixed, and the
+	// scratch tallies can stay stale (HeatInto checks m.trivial).
+	if !(wi.Op.IsMemory() && wi.Addrs != nil) &&
+		!(wi.Srcs[0].Space == isa.SpaceMRF && wi.Srcs[0].Valid()) &&
+		!(wi.Srcs[1].Space == isa.SpaceMRF && wi.Srcs[1].Valid()) &&
+		!(wi.Srcs[2].Space == isa.SpaceMRF && wi.Srcs[2].Valid()) {
+		m.trivial = true
+		return Outcome{MaxPerBank: 1}
+	}
+	m.trivial = false
 	for i := range m.bankReg {
 		m.bankReg[i] = 0
 		m.bankMem[i] = 0
@@ -149,6 +180,10 @@ func (m *Model) Evaluate(wi *isa.WarpInst) Outcome {
 // called after Evaluate and before the next one; it performs no
 // allocation.
 func (m *Model) HeatInto(access, conflict *[config.NumBanks]int64) {
+	if m.trivial {
+		// The last instruction touched no bank; the tallies are stale.
+		return
+	}
 	for b := range m.bankReg {
 		n := int64(m.bankReg[b]) + int64(m.bankMem[b])
 		if n == 0 {
@@ -242,9 +277,12 @@ func (m *Model) addGlobal(wi *isa.WarpInst) int {
 	return n
 }
 
-// seen reports whether g is among the first n recorded granules.
+// seen reports whether g is among the first n recorded granules. The
+// scan runs newest-first: adjacent threads usually land in the granule
+// recorded last (coalesced accesses), making the common duplicate an
+// O(1) hit instead of a full scan.
 func (m *Model) seen(g uint32, n int) bool {
-	for i := 0; i < n; i++ {
+	for i := n - 1; i >= 0; i-- {
 		if m.granule[i] == g {
 			return true
 		}

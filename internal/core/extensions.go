@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/banks"
 	"repro/internal/chip"
 	"repro/internal/config"
+	"repro/internal/dispatch"
 	"repro/internal/isa"
 	"repro/internal/occupancy"
 	"repro/internal/parallel"
@@ -198,6 +200,16 @@ type replicatedSource struct {
 func (r *replicatedSource) Grid() (int, int) { return r.ctas * r.factor, r.warps }
 func (r *replicatedSource) WarpTrace(cta, warp int) []isa.WarpInst {
 	return r.src.WarpTrace(cta, warp)
+}
+
+// WarpOutcomes forwards to the wrapped source when it memoizes bank
+// outcomes (see dispatch.OutcomeSource), so replicated chip runs replay
+// them too.
+func (r *replicatedSource) WarpOutcomes(cta, warp int, design config.Design, aggressive bool) []banks.Outcome {
+	if src, ok := r.src.(dispatch.OutcomeSource); ok {
+		return src.WarpOutcomes(cta, warp, design, aggressive)
+	}
+	return nil
 }
 
 // ValidateMethodology runs each kernel both ways and reports the per-SM

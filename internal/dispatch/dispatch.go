@@ -17,7 +17,9 @@ package dispatch
 
 import (
 	"fmt"
+	"math/bits"
 
+	"repro/internal/banks"
 	"repro/internal/config"
 	"repro/internal/isa"
 	"repro/internal/stats"
@@ -28,8 +30,19 @@ type TraceSource interface {
 	// Grid returns the total number of CTAs and the warps per CTA.
 	Grid() (ctas, warpsPerCTA int)
 	// WarpTrace generates the instruction trace of one warp. It is
-	// called once per warp, when the warp's CTA is launched.
+	// called once per warp, when the warp's CTA is launched. Returned
+	// traces may be shared and must be treated as immutable.
 	WarpTrace(cta, warp int) []isa.WarpInst
+}
+
+// OutcomeSource is an optional TraceSource extension: a source that can
+// additionally supply the precomputed bank-conflict outcome of every
+// instruction under a given bank-model variant (the trace cache in
+// internal/workloads memoizes these). The slice must be index-aligned
+// with the warp's trace and immutable.
+type OutcomeSource interface {
+	TraceSource
+	WarpOutcomes(cta, warp int, design config.Design, aggressive bool) []banks.Outcome
 }
 
 // Status is a warp's lifecycle state.
@@ -54,7 +67,12 @@ type Warp struct {
 	Status  Status
 	CTASlot int
 	Trace   []isa.WarpInst
-	PC      int
+	// Outcomes, when non-nil, holds the precomputed bank-conflict
+	// outcome of each Trace instruction for the SM's bank-model variant
+	// (see OutcomeSource); the timing core then skips the per-issue
+	// conflict evaluation. Probed runs leave it unused.
+	Outcomes []banks.Outcome
+	PC       int
 	// NextIssue serializes the warp's own issue stream while the
 	// bank-conflict extra cycles of its previous instruction elapse.
 	NextIssue int64
@@ -83,6 +101,12 @@ type Dispatcher struct {
 	src TraceSource
 	c   *stats.Counters
 
+	// outSrc, when non-nil, attaches precomputed bank outcomes to each
+	// launched warp for the configured bank-model variant.
+	outSrc     OutcomeSource
+	design     config.Design
+	aggressive bool
+
 	warps []Warp
 	ctas  []ctaSlot
 
@@ -90,7 +114,16 @@ type Dispatcher struct {
 	totalCTAs int
 	warpsPer  int
 	liveWarps int
+	// readyMask has bit w set iff warp slot w is in the Ready state, so
+	// the scheduler's refill and the timing core's wake scan walk only
+	// the ready warps (usually none, on a busy SM) instead of every
+	// slot. MaxWarpsPerSM <= 64 keeps every slot in one word (checked
+	// at compile time below).
+	readyMask uint64
 }
+
+// readyMask must cover every possible warp slot.
+var _ [64 - config.MaxWarpsPerSM]struct{}
 
 // New builds a dispatcher for the grid of src with residentCTAs
 // concurrent CTA slots. Launch and retirement events are filed into c.
@@ -122,6 +155,18 @@ func New(src TraceSource, residentCTAs int, c *stats.Counters) (*Dispatcher, err
 		}
 	}
 	return d, nil
+}
+
+// EnableOutcomes requests precomputed bank outcomes for every launched
+// warp under the given bank-model variant. It reports whether the trace
+// source supports them; it must be called before Start.
+func (d *Dispatcher) EnableOutcomes(design config.Design, aggressive bool) bool {
+	src, ok := d.src.(OutcomeSource)
+	if !ok {
+		return false
+	}
+	d.outSrc, d.design, d.aggressive = src, design, aggressive
+	return true
 }
 
 // Start launches the initial resident CTAs at the given cycle and records
@@ -157,7 +202,11 @@ func (d *Dispatcher) launch(slot int, cycle int64) {
 			Trace:   d.src.WarpTrace(c.id, i),
 			WakeAt:  cycle,
 		}
+		if d.outSrc != nil {
+			w.Outcomes = d.outSrc.WarpOutcomes(c.id, i, d.design, d.aggressive)
+		}
 		d.liveWarps++
+		d.readyMask |= 1 << uint(wIdx)
 	}
 	d.c.ThreadsRun += int64(d.warpsPer) * isa.WarpSize
 }
@@ -183,9 +232,50 @@ func (d *Dispatcher) ReadyAt(w int) (int64, bool) {
 	return d.warps[w].WakeAt, true
 }
 
+// MinReady returns the Ready warp with the oldest wake cycle at or
+// before now, lowest slot index breaking ties — the promotion rule of
+// the two-level scheduler (the sched.Pool view). It walks only the
+// ready warps via the ready bitmask.
+func (d *Dispatcher) MinReady(now int64) (w int, ok bool) {
+	best, bestWake := -1, int64(0)
+	for m := d.readyMask; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
+		if wake := d.warps[i].WakeAt; wake <= now && (best < 0 || wake < bestWake) {
+			best, bestWake = i, wake
+		}
+	}
+	return best, best >= 0
+}
+
+// MinFutureWake returns the earliest wake cycle strictly after now among
+// Ready warps, or int64(1)<<62 when there is none — the timing core's
+// next-event candidate for warp wake-ups.
+func (d *Dispatcher) MinFutureWake(now int64) int64 {
+	min := int64(1) << 62
+	for m := d.readyMask; m != 0; m &= m - 1 {
+		if wake := d.warps[bits.TrailingZeros64(m)].WakeAt; wake > now && wake < min {
+			min = wake
+		}
+	}
+	return min
+}
+
 // Activate marks warp w as entering the scheduler's active set (the
 // sched.Pool view).
-func (d *Dispatcher) Activate(w int) { d.warps[w].Status = Active }
+func (d *Dispatcher) Activate(w int) {
+	d.warps[w].Status = Active
+	d.readyMask &^= 1 << uint(w)
+}
+
+// Park returns an active warp to the Ready state to wait out a
+// long-latency dependence, eligible for promotion again at wake (the
+// two-level scheduler's deschedule rule). The caller removes the warp
+// from the active set.
+func (d *Dispatcher) Park(w int, wake int64) {
+	d.warps[w].Status = Ready
+	d.warps[w].WakeAt = wake
+	d.readyMask |= 1 << uint(w)
+}
 
 // Barrier blocks warp wIdx at its CTA barrier (advancing its PC past the
 // BAR instruction); when it is the last live warp to arrive, the whole
@@ -210,6 +300,7 @@ func (d *Dispatcher) release(c *ctaSlot, now int64) {
 		if ww.Status == Barrier {
 			ww.Status = Ready
 			ww.WakeAt = now + 1
+			d.readyMask |= 1 << uint(idx)
 		}
 	}
 }
@@ -223,6 +314,7 @@ func (d *Dispatcher) Exit(wIdx int, now int64) {
 	c := &d.ctas[w.CTASlot]
 	w.Status = Done
 	w.Trace = nil
+	w.Outcomes = nil
 	d.liveWarps--
 	c.liveWarps--
 	if c.liveWarps == 0 {

@@ -46,20 +46,31 @@ func TestParallelMatchesSerial(t *testing.T) {
 		return outcome{table: tab.String(), comps: comps, counters: counters}
 	}
 
+	// Serial with a cold trace cache, then parallel twice: first against
+	// the cache the serial run just filled (hot), then against a freshly
+	// flushed cache (cold), where the 8 workers race to build each entry.
+	workloads.ResetTraceCache()
 	serial := runAt(1)
-	par := runAt(8)
+	parHot := runAt(8)
+	workloads.ResetTraceCache()
+	parCold := runAt(8)
 
-	if serial.table != par.table {
-		t.Errorf("rendered tables differ between -j 1 and -j 8:\n--- j=1 ---\n%s--- j=8 ---\n%s",
-			serial.table, par.table)
-	}
-	if !reflect.DeepEqual(serial.comps, par.comps) {
-		t.Errorf("comparison results differ between -j 1 and -j 8:\nj=1: %+v\nj=8: %+v",
-			serial.comps, par.comps)
-	}
-	if !reflect.DeepEqual(serial.counters, par.counters) {
-		t.Errorf("baseline counters differ between -j 1 and -j 8:\nj=1: %v\nj=8: %v",
-			serial.counters, par.counters)
+	for _, par := range []struct {
+		label string
+		out   outcome
+	}{{"hot cache", parHot}, {"cold cache", parCold}} {
+		if serial.table != par.out.table {
+			t.Errorf("rendered tables differ between -j 1 and -j 8 (%s):\n--- j=1 ---\n%s--- j=8 ---\n%s",
+				par.label, serial.table, par.out.table)
+		}
+		if !reflect.DeepEqual(serial.comps, par.out.comps) {
+			t.Errorf("comparison results differ between -j 1 and -j 8 (%s):\nj=1: %+v\nj=8: %+v",
+				par.label, serial.comps, par.out.comps)
+		}
+		if !reflect.DeepEqual(serial.counters, par.out.counters) {
+			t.Errorf("baseline counters differ between -j 1 and -j 8 (%s):\nj=1: %v\nj=8: %v",
+				par.label, serial.counters, par.out.counters)
+		}
 	}
 }
 

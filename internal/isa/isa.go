@@ -15,7 +15,10 @@
 // never modeled.
 package isa
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // WarpSize is the number of threads that execute a WarpInst in lockstep.
 const WarpSize = 32
@@ -195,7 +198,7 @@ const FullMask uint32 = 0xFFFFFFFF
 
 // ActiveThreads returns the number of active threads in the instruction.
 func (wi *WarpInst) ActiveThreads() int {
-	return popcount32(wi.Mask)
+	return bits.OnesCount32(wi.Mask)
 }
 
 // NumSrcs returns the number of valid source operands.
@@ -227,13 +230,4 @@ func (wi *WarpInst) String() string {
 		s += " [spill]"
 	}
 	return s
-}
-
-func popcount32(x uint32) int {
-	n := 0
-	for x != 0 {
-		x &= x - 1
-		n++
-	}
-	return n
 }

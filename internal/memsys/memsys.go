@@ -16,6 +16,8 @@
 package memsys
 
 import (
+	"math/bits"
+
 	"repro/internal/cache"
 	"repro/internal/config"
 	"repro/internal/isa"
@@ -81,8 +83,8 @@ type MemSys struct {
 	mem Memory
 	c   *stats.Counters
 
-	pending   map[uint32]int64 // in-flight line fills: line -> data-ready cycle
-	tagFreeAt int64            // cache tag port busy until
+	pending   *pendingTable // in-flight line fills: line -> data-ready cycle
+	tagFreeAt int64         // cache tag port busy until
 	// mshrBlockedUntil marks the end of the current window in which all
 	// cache miss entries are in flight (MaxMSHRs reached); the stall
 	// classifier attributes memory waits inside it to MSHR pressure.
@@ -100,7 +102,7 @@ func New(cfg Config, mem Memory, c *stats.Counters) *MemSys {
 		l1:      cache.New(cfg.CacheBytes),
 		mem:     mem,
 		c:       c,
-		pending: make(map[uint32]int64),
+		pending: newPendingTable(cfg.MaxMSHRs),
 		accBuf:  make([]Access, 0, isa.WarpSize),
 	}
 }
@@ -119,7 +121,7 @@ func (m *MemSys) TagFreeAt() int64 { return m.tagFreeAt }
 func (m *MemSys) MSHRBlockedUntil() int64 { return m.mshrBlockedUntil }
 
 // InFlight returns the number of outstanding line fills.
-func (m *MemSys) InFlight() int { return len(m.pending) }
+func (m *MemSys) InFlight() int { return m.pending.len() }
 
 // DirtyLines returns the number of modified lines resident in the cache
 // (always zero for the write-through design).
@@ -205,14 +207,7 @@ func (m *MemSys) lines(wi *isa.WarpInst, buf []uint32, sectors []uint8) ([]uint3
 }
 
 // popcount8 counts set bits in a sector mask.
-func popcount8(x uint8) int {
-	n := 0
-	for x != 0 {
-		x &= x - 1
-		n++
-	}
-	return n
-}
+func popcount8(x uint8) int { return bits.OnesCount8(x) }
 
 // uncachedGranule is the per-thread DRAM transaction size when no data
 // cache is configured. The cache doubles as the SM's coalescing buffer
@@ -251,7 +246,7 @@ func (m *MemSys) Load(wi *isa.WarpInst, now, extra int64) (int64, []Access) {
 		m.c.CacheProbes++
 		var ready int64
 		status := AccessMiss
-		if done, ok := m.pending[line]; ok && done > lookup {
+		if done, ok := m.pending.get(line); ok && done > lookup {
 			// Merge with an in-flight fill (MSHR hit).
 			ready = done
 			status = AccessMerged
@@ -259,21 +254,14 @@ func (m *MemSys) Load(wi *isa.WarpInst, now, extra int64) (int64, []Access) {
 			m.c.CacheDataReads++
 		} else {
 			if ok {
-				delete(m.pending, line)
+				m.pending.del(line)
 			}
-			if m.cfg.MaxMSHRs > 0 && len(m.pending) >= m.cfg.MaxMSHRs {
+			if m.cfg.MaxMSHRs > 0 && m.pending.len() >= m.cfg.MaxMSHRs {
 				// All miss entries in flight: the lookup stalls until the
 				// earliest outstanding fill returns. Ties on the ready
 				// cycle break by line number so the choice never depends
-				// on map iteration order (runs must be bit-reproducible).
-				earliest := int64(1 << 62)
-				var oldest uint32
-				for l, done := range m.pending {
-					if done < earliest || (done == earliest && l < oldest) {
-						earliest, oldest = done, l
-					}
-				}
-				delete(m.pending, oldest)
+				// on table layout (runs must be bit-reproducible).
+				_, earliest := m.pending.evictEarliest()
 				if earliest > lookup {
 					lookup = earliest
 					// The issue slots until the entry retires are lost
@@ -309,7 +297,7 @@ func (m *MemSys) Load(wi *isa.WarpInst, now, extra int64) (int64, []Access) {
 				m.c.CacheMisses++
 				// The line is already installed; remember when its data
 				// actually arrives.
-				m.pending[line] = ready
+				m.pending.put(line, ready)
 				m.c.CacheDataWrites++ // fill
 			}
 		}

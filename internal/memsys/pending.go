@@ -1,0 +1,146 @@
+package memsys
+
+// pendingTable tracks in-flight line fills (line -> data-ready cycle)
+// without per-operation heap traffic. It replaces the map[uint32]int64
+// the pipeline used to mutate on every miss: a Go map assignment can
+// allocate (bucket growth) on the cycle loop's hottest path, whereas
+// this open-addressed table allocates only when its backing arrays
+// double — and never, once pre-sized, in the MSHR-bounded configuration
+// (capacity is fixed by the MSHR bound, entries never exceed it).
+//
+// Semantics match the map exactly; the eviction scan reproduces the
+// map loop's deterministic minimum-(ready, line) selection. A
+// randomized differential test (pending_test.go) pins the equivalence.
+type pendingTable struct {
+	keys []uint32
+	vals []int64
+	used []bool
+	n    int
+}
+
+// minPendingSlots is the smallest table; must be a power of two.
+const minPendingSlots = 64
+
+// newPendingTable sizes the table for up to bound resident entries
+// (bound <= 0 means unbounded: start small and grow by doubling).
+func newPendingTable(bound int) *pendingTable {
+	slots := minPendingSlots
+	// Keep occupancy at or below 50% so probe chains stay short and a
+	// bounded table never needs to grow.
+	for slots < 2*bound {
+		slots *= 2
+	}
+	return &pendingTable{
+		keys: make([]uint32, slots),
+		vals: make([]int64, slots),
+		used: make([]bool, slots),
+	}
+}
+
+// home returns the key's preferred slot (Fibonacci hashing; the table
+// length is a power of two).
+func (p *pendingTable) home(key uint32) int {
+	return int((key * 2654435761) & uint32(len(p.keys)-1))
+}
+
+// len returns the number of resident entries.
+func (p *pendingTable) len() int { return p.n }
+
+// get returns the entry for key, if present.
+func (p *pendingTable) get(key uint32) (int64, bool) {
+	mask := len(p.keys) - 1
+	for i := p.home(key); p.used[i]; i = (i + 1) & mask {
+		if p.keys[i] == key {
+			return p.vals[i], true
+		}
+	}
+	return 0, false
+}
+
+// put inserts or overwrites the entry for key.
+func (p *pendingTable) put(key uint32, val int64) {
+	if 2*(p.n+1) > len(p.keys) {
+		p.grow()
+	}
+	mask := len(p.keys) - 1
+	i := p.home(key)
+	for p.used[i] {
+		if p.keys[i] == key {
+			p.vals[i] = val
+			return
+		}
+		i = (i + 1) & mask
+	}
+	p.keys[i], p.vals[i], p.used[i] = key, val, true
+	p.n++
+}
+
+// del removes the entry for key if present, using backward-shift
+// deletion (no tombstones: later entries of the probe chain slide into
+// the vacated slot when their home position allows it).
+func (p *pendingTable) del(key uint32) {
+	mask := len(p.keys) - 1
+	i := p.home(key)
+	for {
+		if !p.used[i] {
+			return // absent
+		}
+		if p.keys[i] == key {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	p.n--
+	j := i
+	for {
+		p.used[i] = false
+		for {
+			j = (j + 1) & mask
+			if !p.used[j] {
+				return
+			}
+			// The entry at j may move into the hole at i only if its
+			// home slot does not lie cyclically within (i, j] — moving
+			// it otherwise would break its own probe chain.
+			h := p.home(p.keys[j])
+			if (j-h)&mask >= (j-i)&mask {
+				p.keys[i], p.vals[i], p.used[i] = p.keys[j], p.vals[j], true
+				break
+			}
+		}
+		i = j
+	}
+}
+
+// evictEarliest removes and returns the entry with the smallest value,
+// breaking value ties by the smaller key — the same deterministic rule
+// the map-based scan used, so runs stay bit-reproducible. It must not
+// be called on an empty table.
+func (p *pendingTable) evictEarliest() (key uint32, val int64) {
+	val = int64(1) << 62
+	for i, u := range p.used {
+		if !u {
+			continue
+		}
+		if p.vals[i] < val || (p.vals[i] == val && p.keys[i] < key) {
+			key, val = p.keys[i], p.vals[i]
+		}
+	}
+	p.del(key)
+	return key, val
+}
+
+// grow doubles the table and rehashes every entry.
+func (p *pendingTable) grow() {
+	old := *p
+	slots := 2 * len(old.keys)
+	p.keys = make([]uint32, slots)
+	p.vals = make([]int64, slots)
+	p.used = make([]bool, slots)
+	p.n = 0
+	for i, u := range old.used {
+		if u {
+			p.put(old.keys[i], old.vals[i])
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Package profiling wires the standard pprof CPU and heap profiles into
+// the command-line tools behind shared -cpuprofile / -memprofile flags,
+// so hot-path work (see DESIGN.md, "Cycle-loop performance") can be
+// measured on exactly the binary being shipped rather than on ad-hoc
+// test harnesses.
+//
+// Usage in a main:
+//
+//	prof := profiling.AddFlags(flag.CommandLine)
+//	flag.Parse()
+//	stop, err := prof.Start()
+//	if err != nil { ... }
+//	defer stop()
+//
+// Start is a no-op when neither flag is set. The returned stop function
+// ends the CPU profile and writes the heap profile; mains that exit via
+// os.Exit on success must call it explicitly first (deferred calls do
+// not run past os.Exit).
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the profile destinations registered by AddFlags.
+type Flags struct {
+	cpu *string
+	mem *string
+
+	cpuFile *os.File
+}
+
+// AddFlags registers -cpuprofile and -memprofile on fs and returns the
+// handle Start reads them from. Call before fs is parsed.
+func AddFlags(fs *flag.FlagSet) *Flags {
+	return &Flags{
+		cpu: fs.String("cpuprofile", "", "write a pprof CPU profile to `file`"),
+		mem: fs.String("memprofile", "", "write a pprof heap profile to `file` on exit"),
+	}
+}
+
+// Start begins CPU profiling if -cpuprofile was given. The returned
+// stop function ends the CPU profile and, if -memprofile was given,
+// writes the heap profile (after a final GC, so it reports live heap).
+// stop is never nil and is safe to call when no flag was set.
+func (p *Flags) Start() (stop func(), err error) {
+	if *p.cpu != "" {
+		p.cpuFile, err = os.Create(*p.cpu)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(p.cpuFile); err != nil {
+			p.cpuFile.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	return p.stop, nil
+}
+
+// stop finishes whatever profiles Start began.
+func (p *Flags) stop() {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		p.cpuFile.Close()
+		p.cpuFile = nil
+	}
+	if *p.mem != "" {
+		f, err := os.Create(*p.mem)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "profiling:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // report live heap, not the allocation high-water mark
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "profiling:", err)
+		}
+	}
+}

@@ -59,6 +59,12 @@ type Pool interface {
 	// ReadyAt reports whether warp w is awaiting promotion into the
 	// active set and, if so, the cycle it becomes (or became) eligible.
 	ReadyAt(w int) (wake int64, ok bool)
+	// MinReady returns the warp Refill must promote next: the one with
+	// the oldest wake at or before now, lowest slot index breaking
+	// ties. ok is false when no warp is eligible. Pool implementations
+	// answer this from their own ready-set bookkeeping so Refill does
+	// not scan every warp slot per cycle.
+	MinReady(now int64) (w int, ok bool)
 	// Activate marks warp w as a member of the active set.
 	Activate(w int)
 }
@@ -120,20 +126,13 @@ func New(p Policy, capacity int, greedy bool) (Scheduler, error) {
 	}
 }
 
-// refill is the promotion rule both policies share: scan the pool for
-// eligible warps and append the oldest-wakeup one (lowest slot index on
-// ties) until the active set is full or no warp qualifies.
+// refill is the promotion rule both policies share: promote the pool's
+// oldest-wakeup eligible warp (lowest slot index on ties, per
+// Pool.MinReady) until the active set is full or no warp qualifies.
 func refill(active []int, capacity int, pool Pool, now int64) []int {
 	for len(active) < capacity {
-		best, bestWake := -1, int64(0)
-		for i := 0; i < pool.NumWarps(); i++ {
-			if wake, ok := pool.ReadyAt(i); ok && wake <= now {
-				if best < 0 || wake < bestWake {
-					best, bestWake = i, wake
-				}
-			}
-		}
-		if best < 0 {
+		best, ok := pool.MinReady(now)
+		if !ok {
 			return active
 		}
 		pool.Activate(best)

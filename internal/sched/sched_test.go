@@ -21,6 +21,16 @@ func (p *fakePool) ReadyAt(w int) (int64, bool) {
 	return p.wake[w], true
 }
 
+func (p *fakePool) MinReady(now int64) (int, bool) {
+	best, bestWake := -1, int64(0)
+	for i := range p.ready {
+		if p.ready[i] && p.wake[i] <= now && (best < 0 || p.wake[i] < bestWake) {
+			best, bestWake = i, p.wake[i]
+		}
+	}
+	return best, best >= 0
+}
+
 func (p *fakePool) Activate(w int) {
 	p.ready[w] = false
 	p.activated = append(p.activated, w)

@@ -112,6 +112,14 @@ type SM struct {
 	cycle      int64
 	slotFreeAt int64 // issue slot busy until
 	started    bool
+
+	// visit is the Walk visitor, bound once at construction: creating the
+	// method value per Step would heap-allocate a closure on the hottest
+	// loop of the simulator.
+	visit func(w int) sched.Action
+	// nextEvent accumulates, during one tryIssue pass, the earliest future
+	// cycle at which something may become issueable.
+	nextEvent int64
 }
 
 // Spec gathers everything needed to build an SM. The zero value of the
@@ -163,6 +171,13 @@ func NewSM(spec Spec) (*SM, error) {
 	if s.disp, err = dispatch.New(spec.Source, spec.ResidentCTAs, &s.counters); err != nil {
 		return nil, fmt.Errorf("sm: %w", err)
 	}
+	if spec.Probe == nil {
+		// Unprobed runs replay memoized bank outcomes (an Outcome is a
+		// pure function of instruction and variant); probed runs keep
+		// evaluating so the model's scratch tallies feed the heatmap.
+		s.disp.EnableOutcomes(cfg.Design, params.AggressiveScatter)
+	}
+	s.visit = s.visitWarp
 	s.mem = memsys.New(memsys.Config{
 		CacheBytes:   cfg.CacheBytes,
 		CacheLatency: params.CacheLatency,
@@ -306,56 +321,72 @@ func (s *SM) Run() (*stats.Counters, error) {
 // the scheduling policy's priority order. It returns whether an
 // instruction issued and, if not, the earliest future cycle at which
 // something may become issueable.
+//
+// The wake-up scan over Ready warps runs only on a failed issue (its
+// result is unused otherwise) and only when some warp is Ready at all;
+// warps the Walk itself parks are Ready with their wake cycle already
+// noted, so scanning after the Walk observes the same set of events.
 func (s *SM) tryIssue() (bool, int64) {
-	nextEvent := int64(1 << 62)
-	note := func(t int64) {
-		if t > s.cycle && t < nextEvent {
-			nextEvent = t
-		}
+	s.nextEvent = int64(1) << 62
+	if s.sched.Walk(s.visit) {
+		return true, s.nextEvent
 	}
 	// Wake-ups of ready and barrier-released warps are future events.
-	for i := 0; i < s.disp.NumWarps(); i++ {
-		if wake, ok := s.disp.ReadyAt(i); ok && wake > s.cycle {
-			note(wake)
+	if wake := s.disp.MinFutureWake(s.cycle); wake < s.nextEvent {
+		s.nextEvent = wake
+	}
+	return false, s.nextEvent
+}
+
+// note records a candidate next-event cycle.
+func (s *SM) note(t int64) {
+	if t > s.cycle && t < s.nextEvent {
+		s.nextEvent = t
+	}
+}
+
+// visitWarp is the Walk visitor: it judges one active-set candidate,
+// issuing it when its operands are ready.
+func (s *SM) visitWarp(wIdx int) sched.Action {
+	w := s.disp.Warp(wIdx)
+	wi := &w.Trace[w.PC]
+
+	if w.NextIssue > s.cycle {
+		s.note(w.NextIssue)
+		return sched.Keep
+	}
+	depReady := int64(0)
+	for _, src := range wi.Srcs {
+		if src.Reg != isa.NoReg {
+			if t := w.RegReady[src.Reg]; t > depReady {
+				depReady = t
+			}
 		}
 	}
-
-	issued := s.sched.Walk(func(wIdx int) sched.Action {
-		w := s.disp.Warp(wIdx)
-		wi := &w.Trace[w.PC]
-
-		if w.NextIssue > s.cycle {
-			note(w.NextIssue)
-			return sched.Keep
+	if depReady > s.cycle {
+		s.note(depReady)
+		if depReady-s.cycle > s.params.DeschedulePast {
+			// Two-level rule: swap out on a long-latency dependence.
+			s.disp.Park(wIdx, depReady)
+			return sched.Deschedule
 		}
-		depReady := int64(0)
-		for _, src := range wi.Srcs {
-			if src.Reg != isa.NoReg {
-				if t := w.RegReady[src.Reg]; t > depReady {
-					depReady = t
-				}
-			}
-		}
-		if depReady > s.cycle {
-			note(depReady)
-			if depReady-s.cycle > s.params.DeschedulePast {
-				// Two-level rule: swap out on a long-latency dependence.
-				w.Status = dispatch.Ready
-				w.WakeAt = depReady
-				return sched.Deschedule
-			}
-			return sched.Keep
-		}
-		return s.issue(wIdx, w, wi)
-	})
-	return issued, nextEvent
+		return sched.Keep
+	}
+	return s.issue(wIdx, w, wi)
 }
 
 // issue executes one warp instruction and reports to the scheduler
 // whether the warp stays in the active set (Issued) or leaves it on a
 // barrier or exit (IssuedGone).
 func (s *SM) issue(wIdx int, w *dispatch.Warp, wi *isa.WarpInst) sched.Action {
-	out := s.bankModel.Evaluate(wi)
+	var out banks.Outcome
+	if w.Outcomes != nil {
+		// Replay the memoized outcome (attached at launch for unprobed
+		// runs); the conflict model is bypassed entirely.
+		out = w.Outcomes[w.PC]
+	} else {
+		out = s.bankModel.Evaluate(wi)
+	}
 	if s.prof != nil {
 		s.prof.Issue(s.cycle)
 		acc, conf := s.prof.Heat()

@@ -138,6 +138,38 @@ func TestRecordMatchesSource(t *testing.T) {
 	}
 }
 
+// TestRoundTripCachedTraces round-trips memoized traces (the workloads
+// trace cache shares one backing array across all readers) for several
+// kernels and seeds: the serialized form must be lossless, and writing
+// must not perturb the shared cached slices other readers hold.
+func TestRoundTripCachedTraces(t *testing.T) {
+	for _, name := range []string{"needle", "bfs", "dgemm"} {
+		for _, seed := range []uint64{0, 3, 12345} {
+			src := &workloads.Source{K: mustKernel(name), Seed: seed}
+			orig := Record(limitGrid{src, 2})
+			var buf bytes.Buffer
+			if err := Write(&buf, orig); err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+			got, err := Read(&buf)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+			if !reflect.DeepEqual(got.Warps, orig.Warps) {
+				t.Fatalf("%s seed %d: instruction streams differ after round trip", name, seed)
+			}
+			// The cache must still hand out the same untouched slices.
+			again := src.WarpTrace(1, 0)
+			if &again[0] != &orig.Warps[1*orig.WarpsPerCTA][0] {
+				t.Fatalf("%s seed %d: cache rebuilt a trace during serialization", name, seed)
+			}
+			if !reflect.DeepEqual(again, got.Warps[1*got.WarpsPerCTA]) {
+				t.Fatalf("%s seed %d: cached trace mutated by serialization", name, seed)
+			}
+		}
+	}
+}
+
 func TestAnalyzeCounts(t *testing.T) {
 	b := kgen.NewBuilder(kgen.Config{})
 	b.ALU(0)

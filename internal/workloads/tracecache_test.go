@@ -1,0 +1,169 @@
+package workloads
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/banks"
+	"repro/internal/config"
+	"repro/internal/isa"
+)
+
+// freshSource returns a Source for the named registry kernel.
+func freshSource(t *testing.T, name string) *Source {
+	t.Helper()
+	k, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Source{K: k}
+}
+
+// TestTraceCacheSharesBacking: two Sources with identical parameters must
+// hand out the same backing array — the trace is built once, process-wide.
+func TestTraceCacheSharesBacking(t *testing.T) {
+	ResetTraceCache()
+	a := freshSource(t, "needle").WarpTrace(0, 0)
+	b := freshSource(t, "needle").WarpTrace(0, 0)
+	if len(a) == 0 {
+		t.Fatal("empty trace")
+	}
+	if &a[0] != &b[0] {
+		t.Error("identical sources built the trace twice (distinct backing arrays)")
+	}
+}
+
+// TestTraceCacheColdVsHot: a cache flush must not change the generated
+// instructions — rebuilds are deterministic. (DeepEqual follows the
+// Addrs pointers, so this compares full address vectors, not pointers.)
+func TestTraceCacheColdVsHot(t *testing.T) {
+	ResetTraceCache()
+	src := freshSource(t, "mummer")
+	_, warps := src.Grid()
+	cold := make([][]isa.WarpInst, warps)
+	for w := 0; w < warps; w++ {
+		cold[w] = src.WarpTrace(0, w)
+	}
+	ResetTraceCache()
+	for w := 0; w < warps; w++ {
+		hot := src.WarpTrace(0, w)
+		if &hot[0] == &cold[w][0] {
+			t.Fatalf("warp %d: flush did not drop the cached entry", w)
+		}
+		if !reflect.DeepEqual(cold[w], hot) {
+			t.Fatalf("warp %d: trace differs after cache flush", w)
+		}
+	}
+}
+
+// TestTraceCacheKeyDistinguishesVariants: kernels that share a registry
+// name but differ in blocking factor or register budget must not collide
+// in the cache.
+func TestTraceCacheKeyDistinguishesVariants(t *testing.T) {
+	ResetTraceCache()
+	k16 := NeedleKernel(16)
+	k64 := NeedleKernel(64)
+	t16 := (&Source{K: k16}).WarpTrace(0, 0)
+	t64 := (&Source{K: k64}).WarpTrace(0, 0)
+	if len(t16) == len(t64) && &t16[0] == &t64[0] {
+		t.Fatal("needle BF=16 and BF=64 shared one cache entry")
+	}
+
+	full := freshSource(t, "needle").WarpTrace(0, 0)
+	k, _ := ByName("needle")
+	spilled := (&Source{K: k, RegsAvail: 18}).WarpTrace(0, 0)
+	if len(full) == len(spilled) && &full[0] == &spilled[0] {
+		t.Fatal("spill-free and regsAvail=18 traces shared one cache entry")
+	}
+}
+
+// TestTraceCacheConcurrent hammers one kernel's traces and outcome
+// tables from 8 goroutines; under -race this proves the cache is safe,
+// and the pointer comparison proves each entry was built exactly once.
+func TestTraceCacheConcurrent(t *testing.T) {
+	ResetTraceCache()
+	src := freshSource(t, "needle")
+	ctas, warps := src.Grid()
+	if ctas > 4 {
+		ctas = 4
+	}
+	const goroutines = 8
+	traces := make([][]*isa.WarpInst, goroutines) // per-goroutine first-element pointers
+	outs := make([][]*banks.Outcome, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := &Source{K: src.K} // distinct Source, same identity
+			for c := 0; c < ctas; c++ {
+				for w := 0; w < warps; w++ {
+					tr := s.WarpTrace(c, w)
+					traces[g] = append(traces[g], &tr[0])
+					out := s.WarpOutcomes(c, w, config.Unified, false)
+					if len(out) != len(tr) {
+						t.Errorf("goroutine %d: %d outcomes for %d instructions", g, len(out), len(tr))
+						return
+					}
+					outs[g] = append(outs[g], &out[0])
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if !reflect.DeepEqual(traces[0], traces[g]) {
+			t.Errorf("goroutine %d saw different trace backing arrays than goroutine 0", g)
+		}
+		if !reflect.DeepEqual(outs[0], outs[g]) {
+			t.Errorf("goroutine %d saw different outcome backing arrays than goroutine 0", g)
+		}
+	}
+}
+
+// TestWarpOutcomesMatchEvaluate is the differential check behind the
+// timing core's fast path: for every bank-model variant, the memoized
+// outcome table must equal a fresh Model's per-instruction evaluation.
+func TestWarpOutcomesMatchEvaluate(t *testing.T) {
+	ResetTraceCache()
+	for _, name := range []string{"needle", "dgemm", "bfs"} {
+		src := freshSource(t, name)
+		insts := src.WarpTrace(0, 0)
+		for _, design := range []config.Design{config.Partitioned, config.Unified, config.FermiLike} {
+			for _, aggressive := range []bool{false, true} {
+				got := src.WarpOutcomes(0, 0, design, aggressive)
+				m := banks.New(design)
+				if aggressive {
+					m = banks.NewAggressive(design)
+				}
+				for i := range insts {
+					want := m.Evaluate(&insts[i])
+					if got[i] != want {
+						t.Fatalf("%s design=%v aggressive=%v inst %d: memoized %+v, evaluated %+v",
+							name, design, aggressive, i, got[i], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTraceCacheLimitFlush: exceeding the byte budget flushes the cache,
+// and rebuilt traces still match what in-flight holders kept.
+func TestTraceCacheLimitFlush(t *testing.T) {
+	ResetTraceCache()
+	prev := SetTraceCacheLimit(1) // flush on every charge
+	defer SetTraceCacheLimit(prev)
+	src := freshSource(t, "needle")
+	first := src.WarpTrace(0, 0)
+	second := src.WarpTrace(0, 0)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("rebuild after flush changed the trace")
+	}
+	SetTraceCacheLimit(prev)
+	ResetTraceCache()
+	if TraceCacheBytes() != 0 {
+		t.Fatalf("TraceCacheBytes = %d after reset, want 0", TraceCacheBytes())
+	}
+}

@@ -133,6 +133,12 @@ func (k *Kernel) SharedBytesPerThread() float64 {
 // Source adapts a kernel to the simulator's TraceSource interface,
 // configuring the register budget (for spill studies) and deterministic
 // per-warp seeding.
+//
+// WarpTrace is memoized process-wide (see tracecache.go): all Sources
+// with the same (kernel name, BF, RegsAvail, Seed) share one immutable
+// copy of each warp's instruction stream, so capacity sweeps replay a
+// trace instead of rebuilding it per configuration point. Callers must
+// treat returned traces as read-only.
 type Source struct {
 	// K is the kernel to run.
 	K *Kernel
@@ -146,9 +152,17 @@ type Source struct {
 // Grid implements sm.TraceSource.
 func (s *Source) Grid() (int, int) { return s.K.GridCTAs, s.K.WarpsPerCTA() }
 
-// WarpTrace implements sm.TraceSource: it builds the warp's trace through
-// kgen, which inserts spill code and operand placements.
+// WarpTrace implements sm.TraceSource, serving the memoized immutable
+// trace (built on first use for this (kernel, RegsAvail, Seed, cta,
+// warp) combination).
 func (s *Source) WarpTrace(cta, warp int) []isa.WarpInst {
+	return s.cachedWarp(cta, warp).insts
+}
+
+// buildWarpTrace constructs one warp's trace through kgen, which inserts
+// spill code and operand placements. It is deterministic in (kernel,
+// RegsAvail, Seed, cta, warp), which is what makes memoization exact.
+func (s *Source) buildWarpTrace(cta, warp int) []isa.WarpInst {
 	e := &Env{
 		CTA:         cta,
 		Warp:        warp,
