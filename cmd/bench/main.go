@@ -10,6 +10,7 @@
 //	bench -o /tmp/now.json -j 4         # custom output path and worker count
 //	bench -skip-suite                   # microbenchmark only (fast)
 //	bench -baseline 37.486 figure2      # selected experiments, record speedup
+//	bench -baseline BENCH_results.json  # baseline from a previous artifact
 package main
 
 import (
@@ -26,11 +27,20 @@ func main() {
 	var (
 		out      = flag.String("o", "BENCH_results.json", "output JSON path (empty: stdout summary only)")
 		jobs     = flag.Int("j", runtime.NumCPU(), "parallel simulation workers for the suite")
-		baseline = flag.Float64("baseline", 0, "pre-optimization suite seconds to compute the speedup against")
+		baseline = flag.String("baseline", "", "pre-optimization suite seconds, or the path of a previous bench artifact, to compute the speedup against")
 		skip     = flag.Bool("skip-suite", false, "measure only the cycle-loop microbenchmark")
 	)
 	flag.Parse()
 	parallel.SetWorkers(*jobs)
+
+	var baselineSecs float64
+	if *baseline != "" {
+		var err error
+		if baselineSecs, err = perfbench.ReadBaseline(*baseline); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+	}
 
 	var (
 		res *perfbench.Results
@@ -39,7 +49,7 @@ func main() {
 	if *skip {
 		res = &perfbench.Results{CycleLoop: perfbench.MeasureCycleLoop()}
 	} else {
-		res, err = perfbench.Collect(flag.Args(), *baseline)
+		res, err = perfbench.Collect(flag.Args(), baselineSecs)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(1)

@@ -1,0 +1,95 @@
+// Command smserve runs the simulation service: a long-running HTTP/JSON
+// server exposing single-kernel runs, multi-kernel batches, and the
+// named paper experiments, with a canonical-config result cache,
+// bounded admission (429 + Retry-After beyond the queue), and graceful
+// drain on SIGTERM. See internal/serve for the API and README.md for
+// curl examples.
+//
+// Usage:
+//
+//	smserve [-addr :8344] [-j N] [-inflight N] [-queue N]
+//	        [-cache N] [-timeout 60s] [-drain 30s]
+//
+// -j sets the process simulation worker budget batch items fan out
+// under (0 = GOMAXPROCS); -inflight bounds concurrently simulating
+// requests; -queue bounds requests waiting behind them; -cache bounds
+// the result LRU in entries; -timeout is the default per-request
+// simulation deadline; -drain bounds how long shutdown waits for
+// in-flight requests.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("smserve: ")
+	var (
+		addr     = flag.String("addr", ":8344", "listen address")
+		workers  = flag.Int("j", 0, "simulation worker budget (0 = GOMAXPROCS)")
+		inflight = flag.Int("inflight", 2, "max concurrently simulating requests")
+		queue    = flag.Int("queue", 64, "max requests waiting for admission (beyond: 429)")
+		cache    = flag.Int("cache", 256, "result cache capacity in entries")
+		timeout  = flag.Duration("timeout", 60*time.Second, "default per-request simulation deadline")
+		drain    = flag.Duration("drain", 30*time.Second, "max wait for in-flight requests on shutdown")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: smserve [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	parallel.SetWorkers(*workers)
+
+	// On the flag, 0 means "no queue"; serve.Options spells that -1
+	// (its 0 is "use the default").
+	q := *queue
+	if q <= 0 {
+		q = -1
+	}
+	svc := serve.New(serve.Options{
+		InFlight:       *inflight,
+		Queue:          q,
+		CacheEntries:   *cache,
+		DefaultTimeout: *timeout,
+	})
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+
+	// Graceful drain: stop accepting, let in-flight requests complete.
+	log.Printf("shutting down (drain %v)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("drain: %v", err)
+	}
+	log.Print("drained cleanly")
+}

@@ -1,0 +1,169 @@
+package repro_test
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestEveryPackageHasDocComment is the documentation gate the README's
+// package inventory leans on: every package in the module (internal/,
+// cmd/, examples/, and the root) must carry a package comment. CI runs
+// this alongside a grep-based belt-and-braces check.
+func TestEveryPackageHasDocComment(t *testing.T) {
+	var dirs []string
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if strings.HasPrefix(name, ".") && name != "." || name == "testdata" {
+				return filepath.SkipDir
+			}
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	for _, dir := range dirs {
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for name, pkg := range pkgs {
+			documented := false
+			var files []string
+			for fname, f := range pkg.Files {
+				files = append(files, fname)
+				if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+					documented = true
+				}
+			}
+			if !documented {
+				t.Errorf("package %s (%s) has no package doc comment in any of %v",
+					name, dir, files)
+			}
+		}
+	}
+}
+
+// mdLink matches inline markdown links and images: [text](target).
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)[^)]*\)`)
+
+// TestMarkdownLinksResolve walks the repository's markdown documents and
+// checks that every relative link target exists, so README/DESIGN/
+// EXPERIMENTS cross-references cannot silently rot. External URLs and
+// pure anchors are out of scope (offline test).
+func TestMarkdownLinksResolve(t *testing.T) {
+	var docs []string
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if strings.HasPrefix(name, ".") && name != "." || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".md") {
+			docs = append(docs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) == 0 {
+		t.Fatal("no markdown documents found")
+	}
+	checked := 0
+	for _, doc := range docs {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for lineNo, line := range strings.Split(string(data), "\n") {
+			for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				switch {
+				case strings.Contains(target, "://"), strings.HasPrefix(target, "mailto:"):
+					continue // external; offline test
+				case strings.HasPrefix(target, "#"):
+					continue // intra-document anchor
+				}
+				target = strings.Split(target, "#")[0]
+				if target == "" {
+					continue
+				}
+				resolved := filepath.Join(filepath.Dir(doc), target)
+				if _, err := os.Stat(resolved); err != nil {
+					t.Errorf("%s:%d: broken link %q (%v)", doc, lineNo+1, m[1], err)
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Error("no relative links checked; is the link regexp broken?")
+	}
+}
+
+// TestREADMEInventoryComplete keeps the README package table honest:
+// every internal/ package must appear in it, and it must not name
+// packages that no longer exist.
+func TestREADMEInventoryComplete(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir("internal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if !strings.Contains(string(readme), fmt.Sprintf("`internal/%s`", e.Name())) {
+			t.Errorf("README package inventory is missing internal/%s", e.Name())
+		}
+	}
+	for _, m := range regexp.MustCompile("`internal/([a-z]+)`").FindAllStringSubmatch(string(readme), -1) {
+		if _, err := os.Stat(filepath.Join("internal", m[1])); err != nil {
+			t.Errorf("README names internal/%s which does not exist", m[1])
+		}
+	}
+}
+
+// TestREADMEListsEveryCommand does the same for the CLI table.
+func TestREADMEListsEveryCommand(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir("cmd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if !strings.Contains(string(readme), "cmd/"+e.Name()) {
+			t.Errorf("README does not mention cmd/%s", e.Name())
+		}
+	}
+}

@@ -34,6 +34,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -144,6 +145,18 @@ func NewRunner() *Runner {
 // WithProbe attaches an observability probe. A kernel that cannot fit
 // the configuration fails with a *FitError.
 func (r *Runner) Run(spec RunSpec, opts ...RunOption) (*Result, error) {
+	return r.RunCtx(context.Background(), spec, opts...)
+}
+
+// RunCtx is Run with a deadline: the simulation's cycle loop polls ctx
+// and aborts with ctx.Err() when it is cancelled, which is how the
+// simulation service bounds per-request work. Two caveats keep shared
+// state deterministic: the energy-calibration baseline run a non-baseline
+// spec triggers (Baseline) is computed without the context, because its
+// result is cached process-wide and must never memoize a caller's
+// cancellation; and a completed RunCtx returns counters identical to
+// Run's — the context only decides whether the run finishes.
+func (r *Runner) RunCtx(ctx context.Context, spec RunSpec, opts ...RunOption) (*Result, error) {
 	var o runOptions
 	for _, opt := range opts {
 		opt(&o)
@@ -183,7 +196,7 @@ func (r *Runner) Run(spec RunSpec, opts ...RunOption) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %s under %v: %w", spec.Kernel.Name, spec.Config, err)
 	}
-	counters, err := machine.Run()
+	counters, err := machine.RunContext(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s under %v: %w", spec.Kernel.Name, spec.Config, err)
 	}

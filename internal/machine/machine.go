@@ -95,6 +95,15 @@ func (d Description) Resolve() (config.MemConfig, sm.Params, energy.Params, erro
 	default:
 		return cfg, sm.Params{}, energy.Params{}, fmt.Errorf("machine: unknown design %q", d.Design)
 	}
+	if d.RFKB == 0 && d.SharedKB == 0 && d.CacheKB == 0 {
+		// An entirely unspecified capacity split takes the paper's
+		// baseline, like every other zero-valued field; partially
+		// specified splits stay literal (a deliberate zero capacity is
+		// meaningful, e.g. cache-less sweeps).
+		d.RFKB = config.BaselineRFBytes >> 10
+		d.SharedKB = config.BaselineSharedBytes >> 10
+		d.CacheKB = config.BaselineCacheBytes >> 10
+	}
 	cfg.RFBytes = d.RFKB << 10
 	cfg.SharedBytes = d.SharedKB << 10
 	cfg.CacheBytes = d.CacheKB << 10

@@ -1,0 +1,90 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrQueueFull is returned by Gate.Acquire when the bounded wait queue
+// is already at capacity; callers translate it into backpressure (the
+// simulation service answers 429 with Retry-After).
+var ErrQueueFull = errors.New("parallel: admission queue is full")
+
+// Gate is the admission side of the execution engine: where Map fans
+// one caller's items out across workers, a Gate bounds how many outside
+// callers may be running work at all, with a bounded wait queue behind
+// the slots. It is what lets a long-lived process (the simulation
+// service) submit work into the same machine budget the experiment
+// drivers use without unbounded queueing:
+//
+//	g := parallel.NewGate(4, 16) // 4 concurrent, 16 waiting
+//	if err := g.Acquire(ctx); err != nil { /* 429 or ctx error */ }
+//	defer g.Release()
+//	// ... run simulations, e.g. via parallel.Map ...
+//
+// Acquire fails fast with ErrQueueFull when slots are busy and the wait
+// queue is at capacity, and with ctx.Err() when the context ends while
+// waiting. The zero Gate is not usable; call NewGate.
+type Gate struct {
+	slots    chan struct{}
+	queue    int
+	waiting  atomic.Int64
+	inflight atomic.Int64
+}
+
+// NewGate returns a Gate admitting up to workers concurrent holders
+// with at most queue callers waiting behind them. workers < 1 is
+// treated as 1; queue < 0 as 0 (no waiting: every Acquire beyond the
+// slots fails immediately).
+func NewGate(workers, queue int) *Gate {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &Gate{slots: make(chan struct{}, workers), queue: queue}
+}
+
+// Acquire claims a slot, waiting in the bounded queue if none is free.
+// It returns ErrQueueFull immediately when the queue is already at
+// capacity, or ctx.Err() if the context ends first. A nil error means
+// the caller holds a slot and must Release it.
+func (g *Gate) Acquire(ctx context.Context) error {
+	// Fast path: a free slot skips the queue accounting entirely.
+	select {
+	case g.slots <- struct{}{}:
+		g.inflight.Add(1)
+		return nil
+	default:
+	}
+	if g.waiting.Add(1) > int64(g.queue) {
+		g.waiting.Add(-1)
+		return ErrQueueFull
+	}
+	defer g.waiting.Add(-1)
+	select {
+	case g.slots <- struct{}{}:
+		g.inflight.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot claimed by a successful Acquire.
+func (g *Gate) Release() {
+	g.inflight.Add(-1)
+	<-g.slots
+}
+
+// Waiting returns the number of callers queued behind the slots — the
+// service's queue-depth metric.
+func (g *Gate) Waiting() int { return int(g.waiting.Load()) }
+
+// InFlight returns the number of slots currently held.
+func (g *Gate) InFlight() int { return int(g.inflight.Load()) }
+
+// Capacity returns the concurrent-holder limit.
+func (g *Gate) Capacity() int { return cap(g.slots) }

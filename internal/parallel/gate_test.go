@@ -1,0 +1,132 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestGateAdmitsUpToCapacity asserts that workers slots are granted
+// without blocking and the next Acquire beyond slots+queue fails fast.
+func TestGateAdmitsUpToCapacity(t *testing.T) {
+	g := NewGate(2, 0)
+	ctx := context.Background()
+	if err := g.Acquire(ctx); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	if err := g.Acquire(ctx); err != nil {
+		t.Fatalf("second acquire: %v", err)
+	}
+	if got := g.InFlight(); got != 2 {
+		t.Errorf("InFlight = %d, want 2", got)
+	}
+	if err := g.Acquire(ctx); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third acquire with zero queue: err = %v, want ErrQueueFull", err)
+	}
+	g.Release()
+	if err := g.Acquire(ctx); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	g.Release()
+	g.Release()
+	if got := g.InFlight(); got != 0 {
+		t.Errorf("InFlight after releases = %d, want 0", got)
+	}
+}
+
+// TestGateQueueBacklog asserts queued waiters are admitted as slots
+// free, and that over-capacity arrivals are rejected while they wait.
+func TestGateQueueBacklog(t *testing.T) {
+	g := NewGate(1, 1)
+	ctx := context.Background()
+	if err := g.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	waited := make(chan error, 1)
+	go func() { waited <- g.Acquire(ctx) }()
+	// Wait for the goroutine to enter the queue.
+	for g.Waiting() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if err := g.Acquire(ctx); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("acquire with full queue: err = %v, want ErrQueueFull", err)
+	}
+	g.Release()
+	if err := <-waited; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+	g.Release()
+}
+
+// TestGateContextCancelsWait asserts a queued waiter unblocks with the
+// context's error, leaving the queue accounting balanced.
+func TestGateContextCancelsWait(t *testing.T) {
+	g := NewGate(1, 4)
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	waited := make(chan error, 1)
+	go func() { waited <- g.Acquire(ctx) }()
+	for g.Waiting() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-waited; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled acquire: err = %v, want context.Canceled", err)
+	}
+	if got := g.Waiting(); got != 0 {
+		t.Errorf("Waiting after cancel = %d, want 0", got)
+	}
+	g.Release()
+}
+
+// TestGateConcurrentHammer races many acquirers through a small gate
+// under -race: every admitted holder must observe the concurrency bound.
+func TestGateConcurrentHammer(t *testing.T) {
+	const workers, queue, callers = 3, 2, 64
+	g := NewGate(workers, queue)
+	var (
+		mu       sync.Mutex
+		running  int
+		maxSeen  int
+		admitted int
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := g.Acquire(context.Background()); err != nil {
+				if !errors.Is(err, ErrQueueFull) {
+					t.Errorf("acquire: %v", err)
+				}
+				return
+			}
+			mu.Lock()
+			running++
+			admitted++
+			if running > maxSeen {
+				maxSeen = running
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			running--
+			mu.Unlock()
+			g.Release()
+		}()
+	}
+	wg.Wait()
+	if maxSeen > workers {
+		t.Errorf("observed %d concurrent holders, capacity %d", maxSeen, workers)
+	}
+	if admitted < workers {
+		t.Errorf("admitted %d callers, want at least %d", admitted, workers)
+	}
+	if g.InFlight() != 0 || g.Waiting() != 0 {
+		t.Errorf("gate not drained: inflight=%d waiting=%d", g.InFlight(), g.Waiting())
+	}
+}

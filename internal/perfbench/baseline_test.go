@@ -1,0 +1,74 @@
+package perfbench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadBaselineNumber(t *testing.T) {
+	secs, err := ReadBaseline("37.486")
+	if err != nil || secs != 37.486 {
+		t.Fatalf("ReadBaseline(number) = %v, %v", secs, err)
+	}
+	if _, err := ReadBaseline("-3"); err == nil {
+		t.Error("negative seconds accepted")
+	}
+	if _, err := ReadBaseline("0"); err == nil {
+		t.Error("zero seconds accepted")
+	}
+}
+
+func TestReadBaselineArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_results.json")
+	res := &Results{SuiteSeconds: 12.5}
+	if err := res.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	secs, err := ReadBaseline(path)
+	if err != nil || secs != 12.5 {
+		t.Fatalf("ReadBaseline(artifact) = %v, %v", secs, err)
+	}
+}
+
+func TestReadBaselineMissingFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nope.json")
+	_, err := ReadBaseline(path)
+	if err == nil {
+		t.Fatal("missing file accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, path) || !strings.Contains(msg, "bench -o") {
+		t.Errorf("error lacks the path or the remedy: %v", msg)
+	}
+}
+
+func TestReadBaselineCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corrupt.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadBaseline(path)
+	if err == nil {
+		t.Fatal("corrupt file accepted")
+	}
+	if msg := err.Error(); !strings.Contains(msg, "not a bench artifact") || !strings.Contains(msg, "regenerate") {
+		t.Errorf("error lacks diagnosis or remedy: %v", msg)
+	}
+}
+
+func TestReadBaselineSkipSuiteArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "skip.json")
+	res := &Results{CycleLoop: CycleLoop{NsPerOp: 100}} // no suite timing
+	if err := res.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadBaseline(path)
+	if err == nil {
+		t.Fatal("suite-less artifact accepted")
+	}
+	if msg := err.Error(); !strings.Contains(msg, "suite_seconds") {
+		t.Errorf("error does not explain the missing field: %v", msg)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"testing"
 	"time"
 
@@ -186,6 +187,37 @@ func Collect(names []string, baselineSuiteSeconds float64) (*Results, error) {
 		}
 	}
 	return res, nil
+}
+
+// ReadBaseline interprets cmd/bench's -baseline argument: either a
+// plain number of suite seconds ("37.486") or the path of a previous
+// bench artifact (usually the committed BENCH_results.json), whose
+// suite_seconds is used. Failures come back with the remedy attached —
+// a missing or corrupt file names the path and how to regenerate it —
+// rather than as a bare parse error.
+func ReadBaseline(arg string) (float64, error) {
+	if secs, err := strconv.ParseFloat(arg, 64); err == nil {
+		if secs <= 0 {
+			return 0, fmt.Errorf("perfbench: baseline seconds must be positive, got %v", secs)
+		}
+		return secs, nil
+	}
+	data, err := os.ReadFile(arg)
+	if err != nil {
+		return 0, fmt.Errorf("perfbench: baseline %q is neither a number of seconds nor a readable bench artifact (%v); "+
+			"regenerate one with `bench -o %s` on the reference commit, or pass suite seconds directly (e.g. -baseline 37.5)",
+			arg, err, arg)
+	}
+	var prev Results
+	if err := json.Unmarshal(data, &prev); err != nil {
+		return 0, fmt.Errorf("perfbench: baseline %q is not a bench artifact (%v); "+
+			"regenerate it with `bench -o %s` on the reference commit", arg, err, arg)
+	}
+	if prev.SuiteSeconds <= 0 {
+		return 0, fmt.Errorf("perfbench: baseline %q has no suite_seconds (was it measured with -skip-suite?); "+
+			"regenerate it with `bench -o %s` without -skip-suite", arg, arg)
+	}
+	return prev.SuiteSeconds, nil
 }
 
 // Write serializes r as indented JSON to path.

@@ -124,6 +124,35 @@ func (t *Table) CSV() string {
 	return b.String()
 }
 
+// Markdown renders the table as a GitHub-flavored markdown table. The
+// title is omitted — callers place their own headings — so the output
+// can be pasted into EXPERIMENTS.md-style documents verbatim.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		b.WriteByte('|')
+		for _, c := range cells {
+			b.WriteByte(' ')
+			b.WriteString(strings.ReplaceAll(c, "|", `\|`))
+			b.WriteString(" |")
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	b.WriteByte('|')
+	for range t.header {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Title returns the table's title.
+func (t *Table) Title() string { return t.title }
+
 // Ratio formats a ratio with two decimals, or "-" for non-finite input.
 func Ratio(v float64) string {
 	if v != v || v == 0 {

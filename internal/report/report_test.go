@@ -119,3 +119,17 @@ func TestChartSetSize(t *testing.T) {
 		t.Errorf("unexpected layout:\n%s", c.String())
 	}
 }
+
+func TestMarkdown(t *testing.T) {
+	tb := NewTable("Title ignored", "name", "value")
+	tb.AddRow("plain", "1.00")
+	tb.AddRow("pipe|cell", "2.00")
+	got := tb.Markdown()
+	want := "| name | value |\n|---|---|\n| plain | 1.00 |\n| pipe\\|cell | 2.00 |\n"
+	if got != want {
+		t.Errorf("Markdown:\n%q\nwant:\n%q", got, want)
+	}
+	if tb.Title() != "Title ignored" {
+		t.Errorf("Title() = %q", tb.Title())
+	}
+}

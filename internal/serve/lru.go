@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a bounded LRU mapping canonical request keys to fully
+// marshaled response bodies. Storing bytes rather than structures is
+// what makes the cache-hit contract trivial to honor: a hit replays the
+// exact bytes the first computation produced, so identical requests get
+// byte-identical responses by construction.
+//
+// This layer memoizes whole results per canonical request; the
+// process-wide trace cache underneath (internal/workloads) memoizes the
+// per-warp instruction streams that different requests share. A result
+// miss that reuses a cached trace is still far cheaper than a cold run.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recent
+	entries map[string]*list.Element
+
+	hits, misses int64
+	bytes        int64
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// newResultCache returns a cache bounded to capacity entries;
+// capacity < 1 is treated as 1.
+func newResultCache(capacity int) *resultCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &resultCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached body for key and whether it was present,
+// promoting the entry to most-recently-used on a hit.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// peek is get without touching the hit/miss counters, for rechecks on
+// paths where the caller already recorded the lookup.
+func (c *resultCache) peek(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// put stores body under key, evicting the least-recently-used entry
+// when the bound is exceeded. The caller must not mutate body after.
+func (c *resultCache) put(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// A singleflight leader already stored this key; keep the first
+		// body so every response stays byte-identical.
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
+	c.bytes += int64(len(body))
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		e := oldest.Value.(*cacheEntry)
+		c.order.Remove(oldest)
+		delete(c.entries, e.key)
+		c.bytes -= int64(len(e.body))
+	}
+}
+
+// stats returns (hits, misses, entries, approximate bytes).
+func (c *resultCache) stats() (hits, misses int64, entries int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.order.Len(), c.bytes
+}

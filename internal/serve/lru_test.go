@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestResultCacheEviction(t *testing.T) {
+	c := newResultCache(2)
+	c.put("a", []byte("A"))
+	c.put("b", []byte("B"))
+	if _, ok := c.get("a"); !ok { // promotes a over b
+		t.Fatal("a evicted prematurely")
+	}
+	c.put("c", []byte("C")) // evicts b (LRU)
+	if _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a should have survived (promoted)")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Error("c should be present")
+	}
+	hits, misses, entries, bytesHeld := c.stats()
+	if entries != 2 {
+		t.Errorf("entries = %d, want 2", entries)
+	}
+	if hits != 3 || misses != 1 {
+		t.Errorf("hits,misses = %d,%d, want 3,1", hits, misses)
+	}
+	if bytesHeld != 2 {
+		t.Errorf("bytes = %d, want 2", bytesHeld)
+	}
+}
+
+func TestResultCacheKeepsFirstBody(t *testing.T) {
+	c := newResultCache(4)
+	c.put("k", []byte("first"))
+	c.put("k", []byte("second"))
+	body, ok := c.get("k")
+	if !ok || !bytes.Equal(body, []byte("first")) {
+		t.Errorf("body = %q, want the first stored body", body)
+	}
+}
+
+func TestResultCachePeekDoesNotCount(t *testing.T) {
+	c := newResultCache(4)
+	c.put("k", []byte("v"))
+	if _, ok := c.peek("k"); !ok {
+		t.Fatal("peek miss on present key")
+	}
+	if _, ok := c.peek("absent"); ok {
+		t.Fatal("peek hit on absent key")
+	}
+	hits, misses, _, _ := c.stats()
+	if hits != 0 || misses != 0 {
+		t.Errorf("peek touched counters: hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestResultCacheMinimumCapacity(t *testing.T) {
+	c := newResultCache(0)
+	c.put("a", []byte("A"))
+	c.put("b", []byte("B"))
+	if _, _, entries, _ := c.stats(); entries != 1 {
+		t.Errorf("entries = %d, want 1 (capacity clamped to 1)", entries)
+	}
+}

@@ -1,0 +1,838 @@
+// Package serve is the simulation service: a long-running HTTP/JSON
+// front end that turns the one-shot CLI workflow (smsim, paper, sweep)
+// into a shared, amortized process — the repository's first
+// inference-serving-shaped component: batching, caching, backpressure,
+// and determinism under concurrency.
+//
+// Endpoints (all request and response bodies are JSON):
+//
+//	POST /v1/run         one kernel simulation        -> RunResponse
+//	POST /v1/batch       many simulations, fanned out -> BatchResponse
+//	POST /v1/experiment  a named paper experiment     -> ExperimentResponse
+//	GET  /v1/kernels     the benchmark registry       -> []KernelInfo
+//	GET  /healthz        liveness                     -> {"status":"ok"}
+//	GET  /metrics        counters, cache ratios, queue depth, sim-time
+//	                     histogram                    -> Snapshot
+//
+// Three properties define the service:
+//
+//   - Canonical result caching. Every run request is canonicalized —
+//     machine JSON resolved and re-rendered with defaults filled and
+//     aliases collapsed (machine.Describe), kernel and register budget
+//     clamped the way the simulator clamps them — and hashed into a
+//     deterministic key. Completed response bodies are memoized in a
+//     bounded LRU keyed by that hash, layered over the process-wide
+//     trace cache (internal/workloads), so a repeated request is served
+//     from memory with a byte-identical body (the X-Cache header says
+//     hit or miss). Identical requests in flight at the same time are
+//     coalesced: one simulates, the rest wait for its bytes.
+//
+//   - Bounded admission. A parallel.Gate bounds how many requests
+//     simulate concurrently, with a bounded wait queue behind the
+//     slots; beyond that the service answers 429 with a Retry-After
+//     hint instead of queueing without bound. Batch items fan out
+//     through parallel.Map under the process worker budget
+//     (parallel.SetWorkers), which keeps batch responses byte-identical
+//     for every worker count. Per-request deadlines flow through
+//     core.RunCtx into the simulator's cycle loop; an exceeded deadline
+//     answers 504.
+//
+//   - Deterministic bodies. The simulator is deterministic, responses
+//     are marshaled once and replayed from cache as raw bytes, and
+//     nothing time- or order-dependent is ever written into a response
+//     body (timing lives in headers and /metrics), so identical
+//     requests always produce identical bytes — the property the
+//     httptest suite pins with j=1 versus j=8 workers.
+//
+// cmd/smserve wires this package to flags, an *http.Server, and
+// SIGTERM-graceful draining.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/harness"
+	"repro/internal/machine"
+	"repro/internal/parallel"
+	"repro/internal/probe"
+	"repro/internal/sched"
+	"repro/internal/sm"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// Options configures a Server. The zero value selects the defaults
+// noted on each field.
+type Options struct {
+	// InFlight bounds concurrently simulating requests (gate slots);
+	// default 2. Total simulation goroutines are bounded by InFlight
+	// times the parallel.SetWorkers budget batch items fan out under.
+	InFlight int
+	// Queue bounds requests waiting behind the slots; beyond it the
+	// service answers 429. 0 takes the default of 64; negative means no
+	// queue at all (reject the moment the slots are busy).
+	Queue int
+	// CacheEntries bounds the result LRU. Default 256.
+	CacheEntries int
+	// DefaultTimeout is the per-request simulation deadline when the
+	// request does not set timeout_ms. Default 60s.
+	DefaultTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.InFlight < 1 {
+		o.InFlight = 2
+	}
+	if o.Queue == 0 {
+		o.Queue = 64
+	}
+	if o.Queue < 0 {
+		o.Queue = 0
+	}
+	if o.CacheEntries < 1 {
+		o.CacheEntries = 256
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 60 * time.Second
+	}
+	return o
+}
+
+// Server is the simulation service. Create one with New and mount
+// Handler on an *http.Server; Server is safe for concurrent use.
+type Server struct {
+	opts    Options
+	gate    *parallel.Gate
+	cache   *resultCache
+	metrics metrics
+
+	// runners memoizes one core.Runner per distinct (timing, energy)
+	// parameter set so baseline calibrations are shared across requests
+	// to the same machine. Bounded like the trace cache: flushed
+	// entirely when it grows past runnerCacheCap (results never depend
+	// on Runner reuse, only on the spec).
+	runnersMu sync.Mutex
+	runners   map[string]*core.Runner
+
+	// flight coalesces concurrent identical requests onto one
+	// computation.
+	flightMu sync.Mutex
+	flight   map[string]*flightCall
+
+	mux *http.ServeMux
+}
+
+// runnerCacheCap bounds the memoized Runner map.
+const runnerCacheCap = 64
+
+type flightCall struct {
+	done   chan struct{}
+	status int
+	body   []byte
+}
+
+// New returns a Server with the given options.
+func New(opts Options) *Server {
+	s := &Server{
+		opts:    opts.withDefaults(),
+		runners: make(map[string]*core.Runner),
+		flight:  make(map[string]*flightCall),
+	}
+	s.gate = parallel.NewGate(s.opts.InFlight, s.opts.Queue)
+	s.cache = newResultCache(s.opts.CacheEntries)
+	s.metrics.start = time.Now()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/kernels", s.handleKernels)
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/experiment", s.handleExperiment)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// RunRequest describes one kernel simulation. Exactly the smsim surface:
+// a registry kernel, a machine description (zero-valued fields take the
+// paper's defaults), and optional overrides.
+type RunRequest struct {
+	// Kernel is the benchmark name (GET /v1/kernels lists them).
+	Kernel string `json:"kernel"`
+	// BF selects a needle blocking-factor variant; 0 is the kernel's
+	// default. Ignored by kernels without a blocking factor.
+	BF int `json:"bf,omitempty"`
+	// Machine is the machine description, as in a -machine JSON file.
+	Machine machine.Description `json:"machine,omitempty"`
+	// AllocTotalKB, when positive, replaces the machine's design and
+	// capacities with the §4.5 automatic allocation of a unified memory
+	// of this many KB (the machine's max_threads caps residency).
+	AllocTotalKB int `json:"alloc_total_kb,omitempty"`
+	// RegsPerThread overrides the per-thread register allocation; 0 (or
+	// anything at or above the kernel's demand) is the spill-free value.
+	RegsPerThread int `json:"regs_per_thread,omitempty"`
+	// Seed perturbs per-warp random streams; 0 means the default seed.
+	Seed uint64 `json:"seed,omitempty"`
+	// Probe attaches the cycle-level observability probe and returns
+	// its byte-deterministic NDJSON profile in the response.
+	Probe bool `json:"probe,omitempty"`
+	// ProbeIntervalCycles is the probe sampling interval (0 = default).
+	ProbeIntervalCycles int64 `json:"probe_interval_cycles,omitempty"`
+	// TimeoutMS bounds the simulation's wall time (0 = server default).
+	// Not part of the cache key: it bounds work, never results.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// ConfigInfo is the resolved local-memory configuration of a response.
+type ConfigInfo struct {
+	Design      string `json:"design"`
+	RFBytes     int    `json:"rf_bytes"`
+	SharedBytes int    `json:"shared_bytes"`
+	CacheBytes  int    `json:"cache_bytes"`
+	MaxThreads  int    `json:"max_threads"`
+}
+
+// OccupancyInfo is the residency a configuration admitted.
+type OccupancyInfo struct {
+	CTAs    int    `json:"ctas"`
+	Threads int    `json:"threads"`
+	Warps   int    `json:"warps"`
+	Limiter string `json:"limiter"`
+}
+
+// EnergyInfo is the Section 5.2 energy breakdown in joules.
+type EnergyInfo struct {
+	MRF    float64 `json:"mrf"`
+	ORF    float64 `json:"orf"`
+	LRF    float64 `json:"lrf"`
+	Shared float64 `json:"shared"`
+	Cache  float64 `json:"cache"`
+	Tags   float64 `json:"tags"`
+	Other  float64 `json:"other"`
+	Leak   float64 `json:"leak"`
+	DRAM   float64 `json:"dram"`
+	Total  float64 `json:"total"`
+}
+
+// RunResponse is the structured result of one simulation — the same
+// numbers cmd/smsim prints, as JSON. Bodies are deterministic: two
+// identical requests yield byte-identical responses whether simulated
+// or served from cache.
+type RunResponse struct {
+	// Key is the canonical cache key of the request.
+	Key string `json:"key"`
+	// Kernel and BF echo the resolved workload.
+	Kernel string `json:"kernel"`
+	BF     int    `json:"bf,omitempty"`
+	// Config is the resolved configuration the run executed under.
+	Config ConfigInfo `json:"config"`
+	// Occupancy is the admitted residency.
+	Occupancy OccupancyInfo `json:"occupancy"`
+	// Counters are the raw simulation event counts (stats.Counters).
+	Counters *stats.Counters `json:"counters"`
+	// IPC is thread instructions per cycle; WarpIPC the warp-granular
+	// variant. Both are absolute metrics (see internal/core's package
+	// comment on absolute versus ratio-only metrics).
+	IPC     float64 `json:"ipc"`
+	WarpIPC float64 `json:"warp_ipc"`
+	// Energy is the energy breakdown in joules.
+	Energy EnergyInfo `json:"energy"`
+	// ProbeNDJSON is the probe profile when the request asked for one.
+	ProbeNDJSON string `json:"probe_ndjson,omitempty"`
+}
+
+// BatchRequest is a set of independent runs executed as one admitted
+// request, fanned out through the parallel engine.
+type BatchRequest struct {
+	Runs []RunRequest `json:"runs"`
+}
+
+// BatchItem is one batch entry's outcome: exactly one of Result or
+// Error is set. Items keep request order.
+type BatchItem struct {
+	Result *RunResponse `json:"result,omitempty"`
+	// Error is the item's failure (e.g. an infeasible configuration);
+	// Status is its HTTP-equivalent status code.
+	Error  string `json:"error,omitempty"`
+	Status int    `json:"status,omitempty"`
+}
+
+// BatchResponse is the ordered outcomes of a batch.
+type BatchResponse struct {
+	Results []json.RawMessage `json:"results"`
+}
+
+// ExperimentRequest names a paper experiment to regenerate (the
+// cmd/paper surface; GET /metrics does not list names — see
+// harness.Experiments or README).
+type ExperimentRequest struct {
+	// Name is the experiment ("table1" ... "figure11", "validation",
+	// "ablation").
+	Name string `json:"name"`
+	// Scheduler optionally re-renders under a non-default warp
+	// scheduler ("twolevel" or "gto").
+	Scheduler string `json:"scheduler,omitempty"`
+}
+
+// ExperimentResponse carries one experiment's rendered table in the
+// three formats the CLIs print.
+type ExperimentResponse struct {
+	Name      string `json:"name"`
+	Scheduler string `json:"scheduler"`
+	Text      string `json:"text"`
+	CSV       string `json:"csv"`
+	Markdown  string `json:"markdown"`
+}
+
+// KernelInfo is one registry benchmark.
+type KernelInfo struct {
+	Name              string `json:"name"`
+	Suite             string `json:"suite"`
+	Category          string `json:"category"`
+	Description       string `json:"description"`
+	RegsNeeded        int    `json:"regs_needed"`
+	ThreadsPerCTA     int    `json:"threads_per_cta"`
+	SharedBytesPerCTA int    `json:"shared_bytes_per_cta"`
+	GridCTAs          int    `json:"grid_ctas"`
+	BF                int    `json:"bf,omitempty"`
+}
+
+// errorBody is the JSON error envelope of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// resolvedRun is a RunRequest after canonicalization: the concrete
+// kernel, configuration, and parameters, plus the cache key they hash
+// to and the runner key the (timing, energy) half hashes to.
+type resolvedRun struct {
+	kernel    *workloads.Kernel
+	cfg       config.MemConfig
+	params    sm.Params
+	eparams   energy.Params
+	canon     machine.Description
+	regs      int
+	seed      uint64
+	probe     bool
+	probeIvl  int64
+	timeout   time.Duration
+	key       string
+	runnerKey string
+}
+
+// canonicalRun is the hashed form of a resolved run. Field order is the
+// serialization order, so changing this struct changes every key.
+type canonicalRun struct {
+	Kernel   string              `json:"kernel"`
+	BF       int                 `json:"bf"`
+	Machine  machine.Description `json:"machine"`
+	Regs     int                 `json:"regs"`
+	Seed     uint64              `json:"seed"`
+	Probe    bool                `json:"probe"`
+	ProbeIvl int64               `json:"probe_interval,omitempty"`
+}
+
+// resolve canonicalizes one request. Errors are client errors (400/404).
+func (s *Server) resolve(req RunRequest) (*resolvedRun, error) {
+	if req.Kernel == "" {
+		return nil, fmt.Errorf("missing \"kernel\" (GET /v1/kernels lists the registry)")
+	}
+	var k *workloads.Kernel
+	var err error
+	if req.Kernel == "needle" && req.BF != 0 {
+		k = workloads.NeedleKernel(req.BF)
+	} else {
+		k, err = workloads.ByName(req.Kernel)
+		if err != nil {
+			return nil, err
+		}
+	}
+	cfg, params, eparams, err := req.Machine.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	if req.AllocTotalKB > 0 {
+		cfg, err = config.Allocate(k.Requirements(), req.AllocTotalKB<<10, req.Machine.MaxThreads)
+		if err != nil {
+			return nil, err
+		}
+	}
+	rr := &resolvedRun{
+		kernel:  k,
+		cfg:     cfg,
+		params:  params,
+		eparams: eparams,
+		canon:   machine.Describe(cfg, params, eparams),
+		regs:    req.RegsPerThread,
+		seed:    req.Seed,
+	}
+	// Canonicalize exactly the clamps the simulator applies, so
+	// requests that spell the same run differently share a key.
+	if rr.regs <= 0 || rr.regs > k.RegsNeeded {
+		rr.regs = k.RegsNeeded
+	}
+	if rr.seed == 0 {
+		rr.seed = 1 // core.Runner's default seed
+	}
+	if req.Probe {
+		rr.probe = true
+		rr.probeIvl = req.ProbeIntervalCycles
+		if rr.probeIvl <= 0 {
+			rr.probeIvl = probe.DefaultInterval
+		}
+	}
+	rr.timeout = s.opts.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		rr.timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	ck, err := json.Marshal(canonicalRun{
+		Kernel:   k.Name,
+		BF:       k.BF,
+		Machine:  rr.canon,
+		Regs:     rr.regs,
+		Seed:     rr.seed,
+		Probe:    rr.probe,
+		ProbeIvl: rr.probeIvl,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rr.key = cacheKey(ck)
+	// The runner depends only on the (timing, energy) half of the
+	// machine; zero the configuration half so runs under different
+	// capacities share one Runner and its baseline calibrations.
+	rk := rr.canon
+	rk.Design, rk.RFKB, rk.SharedKB, rk.CacheKB, rk.MaxThreads = "", 0, 0, 0, 0
+	rkb, err := json.Marshal(rk)
+	if err != nil {
+		return nil, err
+	}
+	rr.runnerKey = string(rkb)
+	return rr, nil
+}
+
+// runner returns (memoizing) the Runner for a resolved run's timing and
+// energy parameters.
+func (s *Server) runner(rr *resolvedRun) *core.Runner {
+	s.runnersMu.Lock()
+	defer s.runnersMu.Unlock()
+	if r, ok := s.runners[rr.runnerKey]; ok {
+		return r
+	}
+	if len(s.runners) >= runnerCacheCap {
+		s.runners = make(map[string]*core.Runner, runnerCacheCap)
+	}
+	r := core.NewRunner()
+	r.Params = rr.params
+	r.Energy.P = rr.eparams
+	s.runners[rr.runnerKey] = r
+	return r
+}
+
+// simulate executes one resolved run and marshals its response body.
+func (s *Server) simulate(ctx context.Context, rr *resolvedRun) (int, []byte) {
+	ctx, cancel := context.WithTimeout(ctx, rr.timeout)
+	defer cancel()
+	var (
+		opts    []core.RunOption
+		ndjson  bytes.Buffer
+		started = time.Now()
+	)
+	if rr.probe {
+		opts = append(opts, core.WithProbe(probe.New(rr.probeIvl, &ndjson)))
+	}
+	res, err := s.runner(rr).RunCtx(ctx, core.RunSpec{
+		Kernel:        rr.kernel,
+		Config:        rr.cfg,
+		RegsPerThread: rr.regs,
+		Seed:          rr.seed,
+	}, opts...)
+	s.metrics.simRuns.Add(1)
+	s.metrics.simSeconds.observe(time.Since(started).Seconds())
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.metrics.timeouts.Add(1)
+		return http.StatusGatewayTimeout, marshalBody(errorBody{Error: fmt.Sprintf(
+			"simulation exceeded its %v deadline (raise timeout_ms or the server -timeout)", rr.timeout)})
+	case errors.Is(err, context.Canceled):
+		// The client went away; 499 in nginx's vocabulary, nothing
+		// useful to send. StatusRequestTimeout keeps it a client error.
+		return http.StatusRequestTimeout, marshalBody(errorBody{Error: "request cancelled"})
+	case core.IsInfeasible(err):
+		s.metrics.clientErrors.Add(1)
+		return http.StatusUnprocessableEntity, marshalBody(errorBody{Error: err.Error()})
+	case err != nil:
+		s.metrics.serverErrors.Add(1)
+		return http.StatusInternalServerError, marshalBody(errorBody{Error: err.Error()})
+	}
+	resp := RunResponse{
+		Key:    rr.key,
+		Kernel: rr.kernel.Name,
+		Config: ConfigInfo{
+			Design:      rr.cfg.Design.String(),
+			RFBytes:     rr.cfg.RFBytes,
+			SharedBytes: rr.cfg.SharedBytes,
+			CacheBytes:  rr.cfg.CacheBytes,
+			MaxThreads:  rr.cfg.MaxThreads,
+		},
+		Occupancy: OccupancyInfo{
+			CTAs:    res.Occupancy.CTAs,
+			Threads: res.Occupancy.Threads,
+			Warps:   res.Occupancy.Warps,
+			Limiter: res.Occupancy.Limiter.String(),
+		},
+		Counters: res.Counters,
+		IPC:      res.IPC(),
+		WarpIPC:  res.Counters.IPC(),
+		Energy: EnergyInfo{
+			MRF: res.Energy.MRF, ORF: res.Energy.ORF, LRF: res.Energy.LRF,
+			Shared: res.Energy.Shared, Cache: res.Energy.Cache, Tags: res.Energy.Tags,
+			Other: res.Energy.Other, Leak: res.Energy.Leak, DRAM: res.Energy.DRAM,
+			Total: res.Energy.Total(),
+		},
+		ProbeNDJSON: ndjson.String(),
+	}
+	if rr.kernel.Name == "needle" {
+		resp.BF = rr.kernel.BF
+	}
+	return http.StatusOK, marshalBody(resp)
+}
+
+// compute runs the cache -> coalesce -> simulate pipeline for one
+// resolved run. It assumes admission (the gate) is already settled.
+// counted says the caller already recorded this lookup in the cache
+// stats (handleRun's pre-admission check), so the recheck stays quiet.
+// The cacheState return is "hit", "coalesced", or "miss".
+func (s *Server) compute(ctx context.Context, rr *resolvedRun, counted bool) (status int, body []byte, cacheState string) {
+	lookup := s.cache.get
+	if counted {
+		lookup = s.cache.peek
+	}
+	if body, ok := lookup(rr.key); ok {
+		return http.StatusOK, body, "hit"
+	}
+	s.flightMu.Lock()
+	if c, ok := s.flight[rr.key]; ok {
+		s.flightMu.Unlock()
+		select {
+		case <-c.done:
+			s.metrics.coalesced.Add(1)
+			return c.status, c.body, "coalesced"
+		case <-ctx.Done():
+			return http.StatusRequestTimeout, marshalBody(errorBody{Error: "request cancelled"}), "miss"
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	s.flight[rr.key] = c
+	s.flightMu.Unlock()
+
+	c.status, c.body = s.simulate(ctx, rr)
+	if c.status == http.StatusOK {
+		s.cache.put(rr.key, c.body)
+	}
+	s.flightMu.Lock()
+	delete(s.flight, rr.key)
+	s.flightMu.Unlock()
+	close(c.done)
+	return c.status, c.body, "miss"
+}
+
+// admit claims a gate slot for the request, translating backpressure
+// into 429 + Retry-After. The returned release func is nil when
+// admission failed.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) func() {
+	err := s.gate.Acquire(r.Context())
+	switch {
+	case errors.Is(err, parallel.ErrQueueFull):
+		s.metrics.rejected.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(1+s.gate.Waiting()))
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: fmt.Sprintf(
+			"admission queue full (%d in flight, %d waiting); retry later",
+			s.gate.InFlight(), s.gate.Waiting())})
+		return nil
+	case err != nil:
+		writeJSON(w, http.StatusRequestTimeout, errorBody{Error: "request cancelled while queued"})
+		return nil
+	}
+	return s.gate.Release
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.metrics.runRequests.Add(1)
+	var req RunRequest
+	if !decodeStrict(w, r, &req, &s.metrics) {
+		return
+	}
+	rr, err := s.resolve(req)
+	if err != nil {
+		s.metrics.clientErrors.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	// A cache hit skips admission entirely: replaying bytes is free.
+	if body, ok := s.cache.get(rr.key); ok {
+		writeBody(w, http.StatusOK, body, "hit")
+		return
+	}
+	release := s.admit(w, r)
+	if release == nil {
+		return
+	}
+	defer release()
+	status, body, state := s.compute(r.Context(), rr, true)
+	writeBody(w, status, body, state)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.metrics.batchRequests.Add(1)
+	var req BatchRequest
+	if !decodeStrict(w, r, &req, &s.metrics) {
+		return
+	}
+	if len(req.Runs) == 0 {
+		s.metrics.clientErrors.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "empty batch: \"runs\" must list at least one run"})
+		return
+	}
+	resolved := make([]*resolvedRun, len(req.Runs))
+	for i, run := range req.Runs {
+		rr, err := s.resolve(run)
+		if err != nil {
+			s.metrics.clientErrors.Add(1)
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("runs[%d]: %v", i, err)})
+			return
+		}
+		resolved[i] = rr
+	}
+	release := s.admit(w, r)
+	if release == nil {
+		return
+	}
+	defer release()
+	hits, misses := 0, 0
+	var mu sync.Mutex
+	// Items fan out across the process worker budget; Map keeps results
+	// in request order, so the assembled body is worker-count invariant.
+	items, _ := parallel.Map(len(resolved), func(i int) (json.RawMessage, error) {
+		status, body, state := s.compute(r.Context(), resolved[i], false)
+		mu.Lock()
+		if state == "miss" {
+			misses++
+		} else {
+			hits++
+		}
+		mu.Unlock()
+		if status == http.StatusOK {
+			return json.RawMessage(marshalBody(BatchItem{Result: rawResponse(body)})), nil
+		}
+		var e errorBody
+		_ = json.Unmarshal(body, &e)
+		return json.RawMessage(marshalBody(BatchItem{Error: e.Error, Status: status})), nil
+	})
+	body := marshalBody(BatchResponse{Results: items})
+	writeBody(w, http.StatusOK, body, fmt.Sprintf("hits=%d misses=%d", hits, misses))
+}
+
+// rawResponse re-decodes a cached body into a RunResponse pointer for
+// embedding in a batch item. The round trip is deterministic: the body
+// was produced by marshalBody and re-marshals to the same bytes.
+func rawResponse(body []byte) *RunResponse {
+	var resp RunResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil
+	}
+	return &resp
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	s.metrics.experimentRequests.Add(1)
+	var req ExperimentRequest
+	if !decodeStrict(w, r, &req, &s.metrics) {
+		return
+	}
+	pol, err := sched.ParsePolicy(req.Scheduler)
+	if err != nil {
+		s.metrics.clientErrors.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	known := false
+	for _, name := range harness.Experiments {
+		if name == req.Name {
+			known = true
+			break
+		}
+	}
+	if !known {
+		s.metrics.clientErrors.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf(
+			"unknown experiment %q (have %v)", req.Name, harness.Experiments)})
+		return
+	}
+	key := "experiment\x00" + req.Name + "\x00" + string(pol)
+	if body, ok := s.cache.get(key); ok {
+		writeBody(w, http.StatusOK, body, "hit")
+		return
+	}
+	release := s.admit(w, r)
+	if release == nil {
+		return
+	}
+	defer release()
+	// Experiments reuse the run path's Runner memoization keyed by the
+	// default machine with the chosen scheduler.
+	d := machine.Default()
+	d.Timing.Scheduler = string(pol)
+	rr, err := s.resolve(RunRequest{Kernel: "needle", Machine: d})
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	rr.key = key
+	s.flightMu.Lock()
+	if c, ok := s.flight[key]; ok {
+		s.flightMu.Unlock()
+		<-c.done
+		s.metrics.coalesced.Add(1)
+		writeBody(w, c.status, c.body, "coalesced")
+		return
+	}
+	c := &flightCall{done: make(chan struct{})}
+	s.flight[key] = c
+	s.flightMu.Unlock()
+	started := time.Now()
+	t, err := harness.Run(s.runner(rr), req.Name)
+	s.metrics.simSeconds.observe(time.Since(started).Seconds())
+	if err != nil {
+		s.metrics.serverErrors.Add(1)
+		c.status, c.body = http.StatusInternalServerError, marshalBody(errorBody{Error: err.Error()})
+	} else {
+		s.metrics.simRuns.Add(1)
+		c.status, c.body = http.StatusOK, marshalBody(ExperimentResponse{
+			Name:      req.Name,
+			Scheduler: string(pol),
+			Text:      t.String(),
+			CSV:       t.CSV(),
+			Markdown:  t.Markdown(),
+		})
+		s.cache.put(key, c.body)
+	}
+	s.flightMu.Lock()
+	delete(s.flight, key)
+	s.flightMu.Unlock()
+	close(c.done)
+	writeBody(w, c.status, c.body, "miss")
+}
+
+func (s *Server) handleKernels(w http.ResponseWriter, _ *http.Request) {
+	var out []KernelInfo
+	for _, k := range workloads.All() {
+		out = append(out, KernelInfo{
+			Name:              k.Name,
+			Suite:             k.Suite,
+			Category:          k.Category.String(),
+			Description:       k.Description,
+			RegsNeeded:        k.RegsNeeded,
+			ThreadsPerCTA:     k.ThreadsPerCTA,
+			SharedBytesPerCTA: k.SharedBytesPerCTA,
+			GridCTAs:          k.GridCTAs,
+			BF:                k.BF,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	hits, misses, entries, bytes := s.cache.stats()
+	snap := Snapshot{
+		UptimeSeconds:      time.Since(s.metrics.start).Seconds(),
+		RunRequests:        s.metrics.runRequests.Load(),
+		BatchRequests:      s.metrics.batchRequests.Load(),
+		ExperimentRequests: s.metrics.experimentRequests.Load(),
+		Rejected:           s.metrics.rejected.Load(),
+		ClientErrors:       s.metrics.clientErrors.Load(),
+		ServerErrors:       s.metrics.serverErrors.Load(),
+		Timeouts:           s.metrics.timeouts.Load(),
+		CacheHits:          hits,
+		CacheMisses:        misses,
+		CacheEntries:       entries,
+		CacheBytes:         bytes,
+		Coalesced:          s.metrics.coalesced.Load(),
+		QueueDepth:         s.gate.Waiting(),
+		InFlight:           s.gate.InFlight(),
+		Workers:            s.gate.Capacity(),
+		SimRuns:            s.metrics.simRuns.Load(),
+		SimSeconds:         s.metrics.simSeconds.snapshot(),
+		TraceCache:         workloads.TraceCacheSnapshot(),
+	}
+	if total := hits + misses; total > 0 {
+		snap.CacheHitRatio = float64(hits) / float64(total)
+	}
+	snap.TraceCacheHitRatio = snap.TraceCache.HitRatio()
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// decodeStrict decodes a JSON request body, rejecting unknown fields so
+// misspelled parameters fail loudly instead of silently simulating the
+// wrong thing.
+func decodeStrict(w http.ResponseWriter, r *http.Request, v any, m *metrics) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		m.clientErrors.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+// marshalBody marshals a response body deterministically (compact JSON
+// plus a trailing newline). Marshal errors cannot occur for the
+// response types in this package.
+func marshalBody(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		b, _ = json.Marshal(errorBody{Error: "internal: marshal: " + err.Error()})
+	}
+	return append(b, '\n')
+}
+
+// writeBody writes a prepared body with the cache-state header.
+func writeBody(w http.ResponseWriter, status int, body []byte, cacheState string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", cacheState)
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+// writeJSON marshals and writes an ad-hoc (uncached) response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(marshalBody(v))
+}
+
+// cacheKey hashes canonical request bytes into the LRU key.
+func cacheKey(canonical []byte) string {
+	sum := sha256.Sum256(canonical)
+	return hex.EncodeToString(sum[:])
+}

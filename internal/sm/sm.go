@@ -22,6 +22,7 @@
 package sm
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/banks"
@@ -312,6 +313,41 @@ func (s *SM) Run() (*stats.Counters, error) {
 	for !s.Done() {
 		if err := s.Step(); err != nil {
 			return nil, err
+		}
+	}
+	return s.Finish(), nil
+}
+
+// ctxCheckInterval is the number of Step calls RunContext executes
+// between context polls. Polling is two predictable branches per
+// interval, so the context-aware loop stays indistinguishable from Run
+// on the profiles while still bounding cancellation latency to a few
+// microseconds of simulated work.
+const ctxCheckInterval = 1 << 13
+
+// RunContext is Run with cooperative cancellation: the cycle loop polls
+// ctx every few thousand steps and aborts with ctx.Err() once the
+// context is done. A context that can never be cancelled (for example
+// context.Background()) selects the exact Run path. A completed run's
+// counters are identical to Run's — cancellation only decides whether
+// the run finishes, never what it computes.
+func (s *SM) RunContext(ctx context.Context) (*stats.Counters, error) {
+	if ctx == nil || ctx.Done() == nil {
+		return s.Run()
+	}
+	s.Start()
+	budget := ctxCheckInterval
+	for !s.Done() {
+		if err := s.Step(); err != nil {
+			return nil, err
+		}
+		if budget--; budget == 0 {
+			budget = ctxCheckInterval
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			default:
+			}
 		}
 	}
 	return s.Finish(), nil

@@ -99,13 +99,60 @@ func (g *gridEntry) warp(cta, warp int) *warpEntry {
 	return e
 }
 
-// traceCache is the process-wide cache state.
+// traceCache is the process-wide cache state. The lookup/build/flush
+// counters are monotonic over the process lifetime (a flush does not
+// reset them) so long-lived consumers — the simulation service's
+// /metrics endpoint — can export rates and hit ratios.
 var traceCache = struct {
-	mu    sync.RWMutex
-	grids map[traceKey]*gridEntry
-	bytes atomic.Int64
-	limit atomic.Int64
+	mu      sync.RWMutex
+	grids   map[traceKey]*gridEntry
+	bytes   atomic.Int64
+	limit   atomic.Int64
+	lookups atomic.Int64
+	builds  atomic.Int64
+	flushes atomic.Int64
 }{grids: make(map[traceKey]*gridEntry)}
+
+// TraceCacheStats is a point-in-time snapshot of the process-wide trace
+// cache, exported for observability (cmd/smserve's /metrics).
+type TraceCacheStats struct {
+	// Lookups counts warp-trace requests; Builds counts the subset that
+	// had to construct the trace. Lookups - Builds is the hit count.
+	Lookups int64 `json:"lookups"`
+	Builds  int64 `json:"builds"`
+	// Flushes counts whole-cache evictions forced by the byte budget
+	// (plus explicit ResetTraceCache calls).
+	Flushes int64 `json:"flushes"`
+	// Bytes is the approximate resident footprint; Limit the budget.
+	Bytes int64 `json:"bytes"`
+	Limit int64 `json:"limit"`
+}
+
+// HitRatio returns the fraction of lookups served without a build, or 0
+// before any lookup.
+func (s TraceCacheStats) HitRatio() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Lookups-s.Builds) / float64(s.Lookups)
+}
+
+// TraceCacheSnapshot returns the cache's current statistics. Counters
+// are read individually without a lock: the snapshot is approximate
+// under concurrency, like every metrics read.
+func TraceCacheSnapshot() TraceCacheStats {
+	limit := traceCache.limit.Load()
+	if limit == 0 {
+		limit = DefaultTraceCacheLimit
+	}
+	return TraceCacheStats{
+		Lookups: traceCache.lookups.Load(),
+		Builds:  traceCache.builds.Load(),
+		Flushes: traceCache.flushes.Load(),
+		Bytes:   traceCache.bytes.Load(),
+		Limit:   limit,
+	}
+}
 
 // DefaultTraceCacheLimit is the default approximate byte budget of the
 // trace cache; the full 14-experiment suite stays well inside it.
@@ -128,6 +175,7 @@ func ResetTraceCache() {
 	traceCache.mu.Lock()
 	traceCache.grids = make(map[traceKey]*gridEntry)
 	traceCache.bytes.Store(0)
+	traceCache.flushes.Add(1)
 	traceCache.mu.Unlock()
 }
 
@@ -184,8 +232,10 @@ func (s *Source) key() traceKey {
 // cachedWarp returns the memoized entry for one warp, building the
 // instruction stream on first use.
 func (s *Source) cachedWarp(cta, warp int) *warpEntry {
+	traceCache.lookups.Add(1)
 	e := grid(s.key()).warp(cta, warp)
 	e.traceOnce.Do(func() {
+		traceCache.builds.Add(1)
 		e.insts = s.buildWarpTrace(cta, warp)
 		charge(traceBytes(e.insts))
 	})

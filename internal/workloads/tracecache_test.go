@@ -167,3 +167,42 @@ func TestTraceCacheLimitFlush(t *testing.T) {
 		t.Fatalf("TraceCacheBytes = %d after reset, want 0", TraceCacheBytes())
 	}
 }
+
+// TestTraceCacheSnapshot asserts the exported statistics track lookups,
+// builds, bytes, and flushes. Counters are process-monotonic, so the
+// test measures deltas around its own traffic.
+func TestTraceCacheSnapshot(t *testing.T) {
+	ResetTraceCache()
+	before := TraceCacheSnapshot()
+	src := freshSource(t, "needle")
+	src.WarpTrace(0, 0)                      // cold: one build
+	src.WarpTrace(0, 0)                      // hot: no build
+	freshSource(t, "needle").WarpTrace(0, 0) // hot via a second Source
+	after := TraceCacheSnapshot()
+	if got := after.Lookups - before.Lookups; got != 3 {
+		t.Errorf("lookups delta = %d, want 3", got)
+	}
+	if got := after.Builds - before.Builds; got != 1 {
+		t.Errorf("builds delta = %d, want 1", got)
+	}
+	if after.Bytes <= 0 {
+		t.Errorf("bytes = %d, want > 0 after a build", after.Bytes)
+	}
+	if after.Limit <= 0 {
+		t.Errorf("limit = %d, want > 0", after.Limit)
+	}
+	if hr := (TraceCacheStats{Lookups: 4, Builds: 1}).HitRatio(); hr != 0.75 {
+		t.Errorf("HitRatio = %v, want 0.75", hr)
+	}
+	if hr := (TraceCacheStats{}).HitRatio(); hr != 0 {
+		t.Errorf("zero-value HitRatio = %v, want 0", hr)
+	}
+	flushesBefore := after.Flushes
+	ResetTraceCache()
+	if got := TraceCacheSnapshot().Flushes - flushesBefore; got != 1 {
+		t.Errorf("flushes delta = %d, want 1", got)
+	}
+	if got := TraceCacheSnapshot().Bytes; got != 0 {
+		t.Errorf("bytes after reset = %d, want 0", got)
+	}
+}
