@@ -16,10 +16,10 @@ import (
 	"repro/internal/workloads"
 )
 
-// newSteadySM builds a baseline-configuration SM with the MSHR table
+// steadySpec builds a baseline-configuration spec with the MSHR table
 // bounded, so every memsys structure is pre-sized (the unbounded model
 // may legitimately double its pending-fill table mid-run).
-func newSteadySM(t *testing.T, name string) *sm.SM {
+func steadySpec(t *testing.T, name string) sm.Spec {
 	t.Helper()
 	k, err := workloads.ByName(name)
 	if err != nil {
@@ -32,16 +32,64 @@ func newSteadySM(t *testing.T, name string) *sm.SM {
 	}
 	params := sm.DefaultParams()
 	params.MaxMSHRs = 64
-	machine, err := sm.NewSM(sm.Spec{
+	return sm.Spec{
 		Config:       cfg,
 		Params:       params,
 		Source:       &workloads.Source{K: k},
 		ResidentCTAs: occ.CTAs,
-	})
+	}
+}
+
+// newSteadySM builds a fresh SM from steadySpec.
+func newSteadySM(t *testing.T, name string) *sm.SM {
+	t.Helper()
+	machine, err := sm.NewSM(steadySpec(t, name))
 	if err != nil {
 		t.Fatal(err)
 	}
 	return machine
+}
+
+// TestForkedCycleLoopAllocFree extends the contract across the
+// snapshot boundary: capturing a snapshot may allocate (it builds the
+// copy-on-write state), but a forked SM resumes with every scratch
+// structure already at its high-water mark, so the post-restore cycle
+// loop must heap-allocate exactly zero times.
+func TestForkedCycleLoopAllocFree(t *testing.T) {
+	for _, name := range []string{"needle", "bfs"} {
+		warm := newSteadySM(t, name)
+		if _, err := warm.Run(); err != nil {
+			t.Fatal(err)
+		}
+
+		spec := steadySpec(t, name)
+		parent, err := sm.NewSM(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := parent.RunTo(2000); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := parent.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fork, err := sm.Fork(spec, snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		for !fork.Done() {
+			if err := fork.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		runtime.ReadMemStats(&after)
+		if d := after.Mallocs - before.Mallocs; d != 0 {
+			t.Errorf("%s: %d heap allocations during a forked cycle loop, want 0", name, d)
+		}
+	}
 }
 
 // TestCycleLoopSteadyStateAllocFree runs one full simulation to warm the

@@ -1,18 +1,34 @@
-// Command sweep runs custom capacity sweeps: it varies one local-memory
-// resource for one benchmark across a range and reports performance,
-// DRAM traffic, and energy at each point — the generalization of the
-// paper's Figures 2-4 to arbitrary benchmarks and ranges. Sweep points
-// run in parallel across -j workers; rows print in capacity order
-// regardless of worker count.
+// Command sweep runs custom sweeps for one benchmark and reports
+// performance, DRAM traffic, and energy at each point.
+//
+// Capacity sweeps (-resource rf | shared | cache) vary one local-memory
+// resource across a range — the generalization of the paper's Figures
+// 2-4 to arbitrary benchmarks and ranges. Parameter sweeps (-resource
+// mshr | dramlat | drambw) vary a timing parameter instead; because
+// timing parameters do not alter the warm-up history, these sweeps warm
+// one simulation prefix to the -warm cycle and fork it copy-on-write
+// into every sweep point, paying the warm-up cost once (see
+// internal/snapshot). Sweep points run in parallel across -j workers;
+// rows print in order regardless of worker count.
+//
+// -sample detailed=W,skip=S switches capacity sweeps to sampled
+// simulation (detailed windows alternating with functional
+// fast-forwards): much faster on long grids, with approximate cycle
+// counts — the paper driver's sampling table reports the measured error
+// per workload.
 //
 // Examples:
 //
 //	sweep -kernel bfs -resource cache -from 32 -to 512 -step 2x
 //	sweep -kernel dgemm -resource rf -from 64 -to 256 -step 64 -threads 1024
 //	sweep -kernel needle -resource shared -from 16 -to 384 -step 2x -csv
+//	sweep -kernel mummer -resource mshr -from 2 -to 32 -step 2x -warm 50000
+//	sweep -kernel bfs -resource dramlat -from 200 -to 800 -step 100 -warm 20000
+//	sweep -kernel dgemm -resource cache -from 32 -to 512 -step 2x -sample detailed=4096,skip=32768
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -27,34 +43,47 @@ import (
 	"repro/internal/profiling"
 	"repro/internal/report"
 	"repro/internal/sched"
+	"repro/internal/sm"
 	"repro/internal/workloads"
 )
 
-// parseStep turns a -step value into a capacity successor function:
-// "2x" doubles, a positive integer adds that many KB. Anything else —
-// including trailing garbage like "64abc", which fmt.Sscanf would
-// silently accept — is rejected.
-func parseStep(step string) (func(kb int) int, error) {
+// parseStep turns a -step value into a successor function: "2x"
+// doubles, a positive integer adds. Anything else — including trailing
+// garbage like "64abc", which fmt.Sscanf would silently accept — is
+// rejected.
+func parseStep(step string) (func(v int) int, error) {
 	if step == "2x" {
-		return func(kb int) int { return kb * 2 }, nil
+		return func(v int) int { return v * 2 }, nil
 	}
 	add, err := strconv.Atoi(step)
 	if err != nil || add <= 0 {
-		return nil, fmt.Errorf("bad -step %q (want a positive KB count or 2x)", step)
+		return nil, fmt.Errorf("bad -step %q (want a positive step or 2x)", step)
 	}
-	return func(kb int) int { return kb + add }, nil
+	return func(v int) int { return v + add }, nil
+}
+
+// paramMutators maps the fork-compatible -resource names to their
+// parameter mutation. Every axis here is divergable across a snapshot
+// (sm.Fork); capacity resources are prefix-defining and sweep the slow
+// way.
+var paramMutators = map[string]func(*sm.Params, int){
+	"mshr":    func(p *sm.Params, v int) { p.MaxMSHRs = v },
+	"dramlat": func(p *sm.Params, v int) { p.DRAM.LatencyCycles = int64(v) },
+	"drambw":  func(p *sm.Params, v int) { p.DRAM.BytesPerCycle = v },
 }
 
 func main() {
 	var (
 		kernelName = flag.String("kernel", "", "benchmark name")
-		resource   = flag.String("resource", "cache", "rf | shared | cache")
-		fromKB     = flag.Int("from", 32, "first capacity in KB")
-		toKB       = flag.Int("to", 512, "last capacity in KB")
-		step       = flag.String("step", "2x", "additive KB step (e.g. 64) or \"2x\" for doubling")
+		resource   = flag.String("resource", "cache", "rf | shared | cache (capacity, KB) or mshr | dramlat | drambw (timing parameter)")
+		from       = flag.Int("from", 32, "first value (KB for capacity resources)")
+		to         = flag.Int("to", 512, "last value")
+		step       = flag.String("step", "2x", "additive step (e.g. 64) or \"2x\" for doubling")
 		threads    = flag.Int("threads", 0, "resident thread cap (0 = architectural limit)")
 		jobs       = flag.Int("j", runtime.NumCPU(), "parallel simulation workers (1 = serial)")
 		schedName  = flag.String("sched", "", "warp scheduler: twolevel (default) | gto")
+		warmCycles = flag.Int64("warm", 0, "warm-prefix cycle for parameter sweeps: fork every point from one run warmed to this cycle")
+		sampleSpec = flag.String("sample", "", "sampled simulation for capacity sweeps: detailed=W,skip=S cycles")
 		csv        = flag.Bool("csv", false, "emit CSV")
 	)
 	prof := profiling.AddFlags(flag.CommandLine)
@@ -85,57 +114,67 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(2)
 	}
-	switch *resource {
-	case "rf", "shared", "cache":
+	sample, err := sm.ParseSampleSpec(*sampleSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(2)
+	}
+	mutate, isParam := paramMutators[*resource]
+	switch {
+	case isParam:
+		if sample.Enabled() {
+			fmt.Fprintln(os.Stderr, "sweep: -sample applies to capacity sweeps (parameter sweeps fork a warm exact prefix instead)")
+			os.Exit(2)
+		}
+	case *resource == "rf" || *resource == "shared" || *resource == "cache":
+		if *warmCycles != 0 {
+			fmt.Fprintln(os.Stderr, "sweep: -warm needs a parameter resource (mshr | dramlat | drambw); capacities define the warm-up history and cannot be forked")
+			os.Exit(2)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "sweep: unknown resource %q\n", *resource)
 		os.Exit(2)
 	}
 
-	var capacities []int
-	for kb := *fromKB; kb <= *toKB; kb = next(kb) {
-		capacities = append(capacities, kb)
+	var values []int
+	for v := *from; v <= *to; v = next(v) {
+		values = append(values, v)
 	}
 
 	r := core.NewRunner()
 	r.Params.Scheduler = policy
+	cfg := config.MemConfig{
+		Design:      config.Partitioned,
+		RFBytes:     occupancy.FullOccupancyRFBytes(k.RegsNeeded),
+		SharedBytes: core.UnboundedShared(k),
+		CacheBytes:  config.BaselineCacheBytes,
+		MaxThreads:  *threads,
+	}
 	start := time.Now()
-	rows, err := parallel.Map(len(capacities), func(i int) ([]string, error) {
-		kb := capacities[i]
-		cfg := config.MemConfig{
-			Design:      config.Partitioned,
-			RFBytes:     occupancy.FullOccupancyRFBytes(k.RegsNeeded),
-			SharedBytes: core.UnboundedShared(k),
-			CacheBytes:  config.BaselineCacheBytes,
-			MaxThreads:  *threads,
-		}
-		switch *resource {
-		case "rf":
-			cfg.RFBytes = kb << 10
-		case "shared":
-			cfg.SharedBytes = kb << 10
-		case "cache":
-			cfg.CacheBytes = kb << 10
-		}
-		res, err := r.Run(core.RunSpec{Kernel: k, Config: cfg})
-		if core.IsInfeasible(err) {
-			return []string{fmt.Sprintf("%dK", kb), "-", "infeasible", "-", "-", "-"}, nil
-		}
-		if err != nil {
-			return nil, err
-		}
-		return []string{fmt.Sprintf("%dK", kb), fmt.Sprint(res.Occupancy.Threads),
-			fmt.Sprint(res.Counters.Cycles), fmt.Sprintf("%.3f", res.Counters.IPC()),
-			fmt.Sprint(res.Counters.DRAMBytes()), fmt.Sprintf("%.3e", res.Energy.Total())}, nil
-	})
+
+	var rows [][]string
+	if isParam {
+		rows, err = paramSweep(r, k, cfg, values, mutate, *warmCycles)
+	} else {
+		rows, err = capacitySweep(r, k, cfg, values, *resource, sample)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
 
-	t := report.NewTable(
-		fmt.Sprintf("%s: performance vs %s capacity", k.Name, *resource),
-		"capacity", "threads", "cycles", "IPC", "dram bytes", "energy (J)")
+	title := fmt.Sprintf("%s: performance vs %s", k.Name, *resource)
+	firstCol := "value"
+	if !isParam {
+		title += " capacity"
+		firstCol = "capacity"
+		if sample.Enabled() {
+			title += fmt.Sprintf(" (sampled %s)", sample)
+		}
+	} else {
+		title += fmt.Sprintf(" (forked at cycle %d)", *warmCycles)
+	}
+	t := report.NewTable(title, firstCol, "threads", "cycles", "IPC", "dram bytes", "energy (J)")
 	for _, row := range rows {
 		t.AddRow(row...)
 	}
@@ -145,5 +184,68 @@ func main() {
 		fmt.Print(t)
 	}
 	fmt.Fprintf(os.Stderr, "sweep: %d point(s) in %v with %d worker(s)\n",
-		len(capacities), time.Since(start).Round(time.Millisecond), parallel.Workers())
+		len(values), time.Since(start).Round(time.Millisecond), parallel.Workers())
+}
+
+// resultRow formats one sweep point's table row.
+func resultRow(label string, res *core.Result) []string {
+	return []string{label, fmt.Sprint(res.Occupancy.Threads),
+		fmt.Sprint(res.Counters.Cycles), fmt.Sprintf("%.3f", res.Counters.IPC()),
+		fmt.Sprint(res.Counters.DRAMBytes()), fmt.Sprintf("%.3e", res.Energy.Total())}
+}
+
+// capacitySweep runs one independent simulation per capacity point,
+// optionally in sampled mode.
+func capacitySweep(r *core.Runner, k *workloads.Kernel, base config.MemConfig, capacities []int, resource string, sample sm.SampleSpec) ([][]string, error) {
+	var opts []core.RunOption
+	if sample.Enabled() {
+		opts = append(opts, core.WithSample(sample))
+	}
+	return parallel.Map(len(capacities), func(i int) ([]string, error) {
+		kb := capacities[i]
+		cfg := base
+		switch resource {
+		case "rf":
+			cfg.RFBytes = kb << 10
+		case "shared":
+			cfg.SharedBytes = kb << 10
+		case "cache":
+			cfg.CacheBytes = kb << 10
+		}
+		label := fmt.Sprintf("%dK", kb)
+		res, err := r.Run(core.RunSpec{Kernel: k, Config: cfg}, opts...)
+		if core.IsInfeasible(err) {
+			return []string{label, "-", "infeasible", "-", "-", "-"}, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		return resultRow(label, res), nil
+	})
+}
+
+// paramSweep warms one prefix to warmCycles and forks it into every
+// parameter point. A warm cycle of 0 forks at launch — still one shared
+// prefix, just a trivial one.
+func paramSweep(r *core.Runner, k *workloads.Kernel, cfg config.MemConfig, values []int, mutate func(*sm.Params, int), warmCycles int64) ([][]string, error) {
+	warm, err := r.Warm(context.Background(), core.RunSpec{Kernel: k, Config: cfg}, warmCycles)
+	if core.IsInfeasible(err) {
+		rows := make([][]string, len(values))
+		for i, v := range values {
+			rows[i] = []string{fmt.Sprint(v), "-", "infeasible", "-", "-", "-"}
+		}
+		return rows, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return parallel.Map(len(values), func(i int) ([]string, error) {
+		params := warm.Params
+		mutate(&params, values[i])
+		res, err := warm.Resume(context.Background(), r, params)
+		if err != nil {
+			return nil, err
+		}
+		return resultRow(fmt.Sprint(values[i]), res), nil
+	})
 }

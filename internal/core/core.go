@@ -93,7 +93,8 @@ func (r *Result) IPC() float64 {
 type RunOption func(*runOptions)
 
 type runOptions struct {
-	probe *probe.Probe
+	probe  *probe.Probe
+	sample sm.SampleSpec
 }
 
 // WithProbe attaches a cycle-level observability probe to the run. The
@@ -102,6 +103,16 @@ type runOptions struct {
 // Counters are identical to an unprobed one's.
 func WithProbe(p *probe.Probe) RunOption {
 	return func(o *runOptions) { o.probe = p }
+}
+
+// WithSample runs the simulation in sampled mode (sm.SampleSpec):
+// detailed windows alternating with functional fast-forwards. Counters
+// stay exactly attributed but cycle counts are approximate; the
+// harness's sampling experiment reports the measured IPC error per
+// workload. A zero spec keeps the exact path. Sampling and probes are
+// mutually exclusive (the probe's stall attribution needs exact runs).
+func WithSample(sp sm.SampleSpec) RunOption {
+	return func(o *runOptions) { o.sample = sp }
 }
 
 // Runner executes runs and caches the per-benchmark baseline needed for
@@ -161,31 +172,16 @@ func (r *Runner) RunCtx(ctx context.Context, spec RunSpec, opts ...RunOption) (*
 	for _, opt := range opts {
 		opt(&o)
 	}
-	if spec.Kernel == nil {
-		return nil, ErrKernelNil
-	}
-	if spec.Seed == 0 {
-		spec.Seed = r.Seed
-	}
-	regs := spec.RegsPerThread
-	if regs <= 0 || regs > spec.Kernel.RegsNeeded {
-		regs = spec.Kernel.RegsNeeded
-	}
-	occ := occupancy.Compute(spec.Kernel.Requirements(), spec.Config, regs)
-	if occ.CTAs < 1 {
-		return nil, &FitError{Kernel: spec.Kernel.Name, Config: spec.Config, Limiter: occ.Limiter}
-	}
-	regsAvail := 0
-	if regs < spec.Kernel.RegsNeeded {
-		regsAvail = regs
+	spec, occ, src, err := r.prepare(spec)
+	if err != nil {
+		return nil, err
 	}
 	if o.probe != nil {
 		o.probe.Annotate("kernel", spec.Kernel.Name)
 		o.probe.Annotate("config", spec.Config.String())
-		o.probe.Annotate("regs", fmt.Sprint(regs))
+		o.probe.Annotate("regs", fmt.Sprint(resolvedRegs(spec)))
 		o.probe.Annotate("threads", fmt.Sprint(occ.Threads))
 	}
-	src := &workloads.Source{K: spec.Kernel, RegsAvail: regsAvail, Seed: spec.Seed}
 	machine, err := sm.NewSM(sm.Spec{
 		Config:       spec.Config,
 		Params:       r.Params,
@@ -196,10 +192,22 @@ func (r *Runner) RunCtx(ctx context.Context, spec RunSpec, opts ...RunOption) (*
 	if err != nil {
 		return nil, fmt.Errorf("core: %s under %v: %w", spec.Kernel.Name, spec.Config, err)
 	}
-	counters, err := machine.RunContext(ctx)
+	var counters *stats.Counters
+	if o.sample.Enabled() {
+		counters, err = machine.RunSampled(ctx, o.sample)
+	} else {
+		counters, err = machine.RunContext(ctx)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: %s under %v: %w", spec.Kernel.Name, spec.Config, err)
 	}
+	return r.finishResult(spec, occ, counters)
+}
+
+// finishResult assembles a Result from completed-run counters,
+// attaching the calibrated energy breakdown. The snapshot/fork Resume
+// path shares it with RunCtx.
+func (r *Runner) finishResult(spec RunSpec, occ occupancy.Result, counters *stats.Counters) (*Result, error) {
 	res := &Result{Spec: spec, Occupancy: occ, Counters: counters}
 	other, err := r.calibratedOther(spec.Kernel, spec.Config, counters)
 	if err != nil {
@@ -207,6 +215,40 @@ func (r *Runner) RunCtx(ctx context.Context, spec RunSpec, opts ...RunOption) (*
 	}
 	res.Energy = r.Energy.Evaluate(spec.Config, counters, other)
 	return res, nil
+}
+
+// prepare resolves a RunSpec to its simulation inputs: defaulted seed,
+// computed occupancy (failing with *FitError when the kernel cannot
+// achieve residency), and the trace source with the resolved register
+// budget. RunCtx and the snapshot/fork Warm path share it so a warmed
+// prefix is built from exactly the state a direct run would use.
+func (r *Runner) prepare(spec RunSpec) (RunSpec, occupancy.Result, *workloads.Source, error) {
+	if spec.Kernel == nil {
+		return spec, occupancy.Result{}, nil, ErrKernelNil
+	}
+	if spec.Seed == 0 {
+		spec.Seed = r.Seed
+	}
+	regs := resolvedRegs(spec)
+	occ := occupancy.Compute(spec.Kernel.Requirements(), spec.Config, regs)
+	if occ.CTAs < 1 {
+		return spec, occ, nil, &FitError{Kernel: spec.Kernel.Name, Config: spec.Config, Limiter: occ.Limiter}
+	}
+	regsAvail := 0
+	if regs < spec.Kernel.RegsNeeded {
+		regsAvail = regs
+	}
+	src := &workloads.Source{K: spec.Kernel, RegsAvail: regsAvail, Seed: spec.Seed}
+	return spec, occ, src, nil
+}
+
+// resolvedRegs returns the effective per-thread register allocation.
+func resolvedRegs(spec RunSpec) int {
+	regs := spec.RegsPerThread
+	if regs <= 0 || regs > spec.Kernel.RegsNeeded {
+		regs = spec.Kernel.RegsNeeded
+	}
+	return regs
 }
 
 // Baseline returns (and caches) the kernel's run under the baseline

@@ -49,8 +49,11 @@ type DRAM struct {
 	rowMisses int64
 }
 
-// New builds a channel with the given configuration.
-func New(cfg Config) *DRAM {
+// Normalized returns the configuration with zero fields replaced by the
+// Table 2 defaults, exactly as New applies them — so callers that need
+// the effective values (the sampled-mode bus bound, SetConfig) agree
+// with the channel itself.
+func (cfg Config) Normalized() Config {
 	if cfg.BytesPerCycle <= 0 {
 		cfg.BytesPerCycle = 8
 	}
@@ -60,7 +63,12 @@ func New(cfg Config) *DRAM {
 	if cfg.RowBytes > 0 && cfg.RowMissPenalty <= 0 {
 		cfg.RowMissPenalty = 100
 	}
-	return &DRAM{cfg: cfg}
+	return cfg
+}
+
+// New builds a channel with the given configuration.
+func New(cfg Config) *DRAM {
+	return &DRAM{cfg: cfg.Normalized()}
 }
 
 // latencyFor returns the access latency, applying the open-row model when

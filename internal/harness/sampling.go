@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/internal/report"
+	"repro/internal/sm"
+	"repro/internal/workloads"
+)
+
+// Sampling reports sampled-simulation accuracy: every workload runs
+// twice under the baseline configuration — exactly and in sampled mode
+// (sp) — and the table shows both cycle counts and IPCs with the
+// per-workload relative IPC error, followed by mean and max error
+// summary rows. The table is deterministic (the sampled simulator is as
+// repeatable as the exact one); it is not part of Experiments because
+// its rows measure the simulator's own approximation, not the paper's
+// results. Exact-vs-sampled wall-clock speedup is measured separately by
+// internal/perfbench.
+func Sampling(r *core.Runner, sp sm.SampleSpec, kernels []*workloads.Kernel) (*report.Table, error) {
+	if !sp.Enabled() {
+		return nil, fmt.Errorf("harness: sampling table needs an enabled sample spec")
+	}
+	type row struct {
+		name                         string
+		exactCycles, sampledCycles   int64
+		exactIPC, sampledIPC, relErr float64
+	}
+	rows, err := parallel.Map(len(kernels), func(i int) (row, error) {
+		k := kernels[i]
+		spec := core.RunSpec{Kernel: k, Config: config.Baseline()}
+		exact, err := r.Run(spec)
+		if err != nil {
+			return row{}, err
+		}
+		sampled, err := r.Run(spec, core.WithSample(sp))
+		if err != nil {
+			return row{}, err
+		}
+		rw := row{
+			name:          k.Name,
+			exactCycles:   exact.Counters.Cycles,
+			sampledCycles: sampled.Counters.Cycles,
+			exactIPC:      exact.IPC(),
+			sampledIPC:    sampled.IPC(),
+		}
+		if rw.exactIPC != 0 {
+			rw.relErr = (rw.sampledIPC - rw.exactIPC) / rw.exactIPC
+			if rw.relErr < 0 {
+				rw.relErr = -rw.relErr
+			}
+		}
+		return rw, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Sampled simulation accuracy (%s, baseline config): IPC error vs exact runs", sp),
+		"workload", "exact cycles", "sampled cycles", "exact IPC", "sampled IPC", "IPC error")
+	var sum, max float64
+	for _, rw := range rows {
+		t.AddRow(rw.name, fmt.Sprint(rw.exactCycles), fmt.Sprint(rw.sampledCycles),
+			fmt.Sprintf("%.4f", rw.exactIPC), fmt.Sprintf("%.4f", rw.sampledIPC),
+			fmt.Sprintf("%.2f%%", rw.relErr*100))
+		sum += rw.relErr
+		if rw.relErr > max {
+			max = rw.relErr
+		}
+	}
+	if len(rows) > 0 {
+		t.AddRow("mean", "", "", "", "", fmt.Sprintf("%.2f%%", sum/float64(len(rows))*100))
+		t.AddRow("max", "", "", "", "", fmt.Sprintf("%.2f%%", max*100))
+	}
+	return t, nil
+}

@@ -66,6 +66,12 @@ type Results struct {
 	Experiments  []Experiment `json:"experiments"`
 	SuiteSeconds float64      `json:"suite_seconds"`
 
+	// ForkSweep is the measured snapshot/fork sweep speedup; Sampled the
+	// sampled-simulation speedup and IPC error bounds. Both are omitted
+	// by the microbenchmark-only path (-skip-suite).
+	ForkSweep *ForkSweep `json:"fork_sweep,omitempty"`
+	Sampled   *Sampled   `json:"sampled,omitempty"`
+
 	// BaselineSuiteSeconds, when non-zero, is the committed
 	// pre-optimization suite time measured on the same machine, and
 	// SuiteSpeedup is BaselineSuiteSeconds / SuiteSeconds.
@@ -179,6 +185,12 @@ func Collect(names []string, baselineSuiteSeconds float64) (*Results, error) {
 	res.Experiments = exps
 	for _, e := range exps {
 		res.SuiteSeconds += e.Seconds
+	}
+	if res.ForkSweep, err = MeasureForkSweep(); err != nil {
+		return nil, err
+	}
+	if res.Sampled, err = MeasureSampled(DefaultSampleSpec); err != nil {
+		return nil, err
 	}
 	if baselineSuiteSeconds > 0 {
 		res.BaselineSuiteSeconds = baselineSuiteSeconds

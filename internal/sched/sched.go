@@ -105,6 +105,12 @@ type Scheduler interface {
 	Active() []int
 	// Len returns the active-set occupancy.
 	Len() int
+	// Snapshot captures the scheduling state (active list and policy
+	// cursor) as an immutable State for the SM snapshot machinery.
+	Snapshot() State
+	// Restore replaces the scheduling state with a previously captured
+	// State. It fails on a policy or capacity mismatch.
+	Restore(State) error
 }
 
 // New builds the named policy with the given active-set capacity. greedy

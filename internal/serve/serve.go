@@ -254,12 +254,26 @@ type RunResponse struct {
 	Energy EnergyInfo `json:"energy"`
 	// ProbeNDJSON is the probe profile when the request asked for one.
 	ProbeNDJSON string `json:"probe_ndjson,omitempty"`
+	// WarmCycles reports that the run was forked from a shared warm
+	// prefix at this cycle (batch warm_cycles; see BatchRequest).
+	WarmCycles int64 `json:"warm_cycles,omitempty"`
 }
 
 // BatchRequest is a set of independent runs executed as one admitted
 // request, fanned out through the parallel engine.
 type BatchRequest struct {
 	Runs []RunRequest `json:"runs"`
+	// WarmCycles, when positive, switches the batch to warm-prefix
+	// sharing: items whose canonical requests agree on every
+	// prefix-defining field (kernel, configuration, registers, seed,
+	// scheduler policy and active-set size, scatter variant) share ONE
+	// simulation warmed to this cycle under the default divergable
+	// timing, copy-on-write forked per item (internal/snapshot). The
+	// semantics are "switch timing parameters at cycle WarmCycles", so
+	// results differ from cycle-0 runs and are cached under keys that
+	// include the warm cycle. Probed items always take the exact
+	// cycle-0 path (probes observe from the first cycle).
+	WarmCycles int64 `json:"warm_cycles,omitempty"`
 }
 
 // BatchItem is one batch entry's outcome: exactly one of Result or
@@ -333,6 +347,90 @@ type resolvedRun struct {
 	timeout   time.Duration
 	key       string
 	runnerKey string
+	// warm, when non-nil, routes the run through the shared warm prefix
+	// (batch warm_cycles): the group's Warm is computed once and the run
+	// copy-on-write forks it under its own divergable timing.
+	warm       *warmEntry
+	warmCycles int64
+}
+
+// warmEntry computes one prefix-defining group's warm prefix exactly
+// once per batch. The prefix simulates under the group's prefix-defining
+// parameters with default divergable timing, so a group's Warm — and
+// therefore every forked result — is independent of which batch items
+// formed the group.
+type warmEntry struct {
+	once   sync.Once
+	seed   *resolvedRun // first group member; prefix-defining fields only
+	cycles int64
+	warm   *core.Warm
+	err    error
+}
+
+// warmPrefix returns (computing once) the group's warm prefix. It runs
+// without the item's context: the result is shared by every group
+// member — and by later batches via the per-item cache — so it must
+// never memoize one caller's cancellation. The server default timeout
+// bounds the work instead.
+func (e *warmEntry) warmPrefix(timeout time.Duration) (*core.Warm, error) {
+	e.once.Do(func() {
+		params := sm.DefaultParams()
+		params.Scheduler = e.seed.params.Scheduler
+		params.ActiveWarps = e.seed.params.ActiveWarps
+		params.GreedyScheduler = e.seed.params.GreedyScheduler
+		params.AggressiveScatter = e.seed.params.AggressiveScatter
+		r := core.NewRunner()
+		r.Params = params
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		e.warm, e.err = r.Warm(ctx, core.RunSpec{
+			Kernel:        e.seed.kernel,
+			Config:        e.seed.cfg,
+			RegsPerThread: e.seed.regs,
+			Seed:          e.seed.seed,
+		}, e.cycles)
+	})
+	return e.warm, e.err
+}
+
+// canonicalWarmGroup hashes the prefix-defining half of a resolved run:
+// requests that agree on these fields share one warm prefix.
+type canonicalWarmGroup struct {
+	Kernel      string `json:"kernel"`
+	BF          int    `json:"bf"`
+	Design      string `json:"design"`
+	RFKB        int    `json:"rf_kb"`
+	SharedKB    int    `json:"shared_kb"`
+	CacheKB     int    `json:"cache_kb"`
+	MaxThreads  int    `json:"max_threads"`
+	Regs        int    `json:"regs"`
+	Seed        uint64 `json:"seed"`
+	Scheduler   string `json:"scheduler"`
+	ActiveWarps int    `json:"active_warps"`
+	Greedy      bool   `json:"greedy"`
+	Scatter     bool   `json:"scatter"`
+	Cycles      int64  `json:"cycles"`
+}
+
+// warmGroupKey derives the prefix-defining group key for warm sharing.
+func warmGroupKey(rr *resolvedRun, cycles int64) string {
+	b, _ := json.Marshal(canonicalWarmGroup{
+		Kernel:      rr.kernel.Name,
+		BF:          rr.kernel.BF,
+		Design:      rr.canon.Design,
+		RFKB:        rr.canon.RFKB,
+		SharedKB:    rr.canon.SharedKB,
+		CacheKB:     rr.canon.CacheKB,
+		MaxThreads:  rr.canon.MaxThreads,
+		Regs:        rr.regs,
+		Seed:        rr.seed,
+		Scheduler:   string(rr.params.Scheduler),
+		ActiveWarps: rr.params.ActiveWarps,
+		Greedy:      rr.params.GreedyScheduler,
+		Scatter:     rr.params.AggressiveScatter,
+		Cycles:      cycles,
+	})
+	return string(b)
 }
 
 // canonicalRun is the hashed form of a resolved run. Field order is the
@@ -456,12 +554,24 @@ func (s *Server) simulate(ctx context.Context, rr *resolvedRun) (int, []byte) {
 	if rr.probe {
 		opts = append(opts, core.WithProbe(probe.New(rr.probeIvl, &ndjson)))
 	}
-	res, err := s.runner(rr).RunCtx(ctx, core.RunSpec{
-		Kernel:        rr.kernel,
-		Config:        rr.cfg,
-		RegsPerThread: rr.regs,
-		Seed:          rr.seed,
-	}, opts...)
+	var res *core.Result
+	var err error
+	if rr.warm != nil {
+		// Warm-prefix path: fork the group's shared prefix under this
+		// item's divergable timing. Energy calibration comes from the
+		// item's own runner, exactly as the direct path.
+		var warm *core.Warm
+		if warm, err = rr.warm.warmPrefix(s.opts.DefaultTimeout); err == nil {
+			res, err = warm.Resume(ctx, s.runner(rr), rr.params)
+		}
+	} else {
+		res, err = s.runner(rr).RunCtx(ctx, core.RunSpec{
+			Kernel:        rr.kernel,
+			Config:        rr.cfg,
+			RegsPerThread: rr.regs,
+			Seed:          rr.seed,
+		}, opts...)
+	}
 	s.metrics.simRuns.Add(1)
 	s.metrics.simSeconds.observe(time.Since(started).Seconds())
 	switch {
@@ -506,6 +616,7 @@ func (s *Server) simulate(ctx context.Context, rr *resolvedRun) (int, []byte) {
 			Total: res.Energy.Total(),
 		},
 		ProbeNDJSON: ndjson.String(),
+		WarmCycles:  rr.warmCycles,
 	}
 	if rr.kernel.Name == "needle" {
 		resp.BF = rr.kernel.BF
@@ -609,13 +720,34 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "empty batch: \"runs\" must list at least one run"})
 		return
 	}
+	if req.WarmCycles < 0 {
+		s.metrics.clientErrors.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "warm_cycles must be non-negative"})
+		return
+	}
 	resolved := make([]*resolvedRun, len(req.Runs))
+	groups := make(map[string]*warmEntry)
 	for i, run := range req.Runs {
 		rr, err := s.resolve(run)
 		if err != nil {
 			s.metrics.clientErrors.Add(1)
 			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("runs[%d]: %v", i, err)})
 			return
+		}
+		// Warm-prefix sharing: group prefix-compatible unprobed items.
+		// Fork-at-K results differ from cycle-0 results, so the cache
+		// key grows a warm suffix; probed items keep the exact path and
+		// their plain key.
+		if req.WarmCycles > 0 && !rr.probe {
+			gk := warmGroupKey(rr, req.WarmCycles)
+			e := groups[gk]
+			if e == nil {
+				e = &warmEntry{seed: rr, cycles: req.WarmCycles}
+				groups[gk] = e
+			}
+			rr.warm = e
+			rr.warmCycles = req.WarmCycles
+			rr.key = cacheKey([]byte(rr.key + "\x00warm\x00" + strconv.FormatInt(req.WarmCycles, 10)))
 		}
 		resolved[i] = rr
 	}

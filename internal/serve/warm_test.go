@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// warmBatchBody is a batch of DRAM-latency variants of one kernel: the
+// items agree on every prefix-defining field and so share one warm
+// prefix when warm_cycles is set.
+const warmBatchBody = `{"warm_cycles":2000,"runs":[
+	{"kernel":"bfs","machine":{"timing":{"dram_latency":300}}},
+	{"kernel":"bfs","machine":{"timing":{"dram_latency":400}}},
+	{"kernel":"bfs","machine":{"timing":{"dram_latency":500}}}]}`
+
+// decodeBatch unpacks a BatchResponse's items.
+func decodeBatch(t *testing.T, body []byte) []BatchItem {
+	t.Helper()
+	var br BatchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatalf("batch decode: %v\n%s", err, body)
+	}
+	items := make([]BatchItem, len(br.Results))
+	for i, raw := range br.Results {
+		if err := json.Unmarshal(raw, &items[i]); err != nil {
+			t.Fatalf("item %d decode: %v", i, err)
+		}
+	}
+	return items
+}
+
+// TestBatchWarmSharing pins the warm-prefix batch semantics: a
+// warm_cycles batch succeeds, marks every result with the warm cycle,
+// gives warm items distinct cache keys from their cycle-0 twins, and
+// replays byte-identically from cache on repetition.
+func TestBatchWarmSharing(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, first := do(t, ts, http.MethodPost, "/v1/batch", warmBatchBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, first)
+	}
+	items := decodeBatch(t, first)
+	keys := map[string]bool{}
+	for i, it := range items {
+		if it.Error != "" {
+			t.Fatalf("item %d failed: %s", i, it.Error)
+		}
+		if it.Result.WarmCycles != 2000 {
+			t.Errorf("item %d warm_cycles = %d, want 2000", i, it.Result.WarmCycles)
+		}
+		if it.Result.Counters == nil || it.Result.Counters.Cycles <= 2000 {
+			t.Errorf("item %d finished at cycle %v, want past the warm prefix", i, it.Result.Counters)
+		}
+		keys[it.Result.Key] = true
+	}
+	if len(keys) != len(items) {
+		t.Errorf("warm items share cache keys: %v", keys)
+	}
+	// Higher DRAM latency after the switch must not make the run faster.
+	if items[0].Result.Counters.Cycles > items[2].Result.Counters.Cycles {
+		t.Errorf("dram_latency 300 ran %d cycles, 500 ran %d — ordering inverted",
+			items[0].Result.Counters.Cycles, items[2].Result.Counters.Cycles)
+	}
+
+	// The same item without warm_cycles is a different result: cycle-0
+	// semantics, distinct key, no warm marker.
+	resp, runBody := do(t, ts, http.MethodPost, "/v1/run", `{"kernel":"bfs","machine":{"timing":{"dram_latency":300}}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run status = %d", resp.StatusCode)
+	}
+	var plain RunResponse
+	if err := json.Unmarshal(runBody, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if plain.WarmCycles != 0 {
+		t.Errorf("plain run reports warm_cycles %d", plain.WarmCycles)
+	}
+	if keys[plain.Key] {
+		t.Error("warm item reused the cycle-0 cache key; results would alias")
+	}
+
+	// Repeating the warm batch replays cached bytes, byte-identically.
+	resp, second := do(t, ts, http.MethodPost, "/v1/batch", warmBatchBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat status = %d", resp.StatusCode)
+	}
+	if !bytes.Equal(first, second) {
+		t.Error("repeated warm batch body differs from the first")
+	}
+	if got := resp.Header.Get("X-Cache"); got != "hits=3 misses=0" {
+		t.Errorf("repeat X-Cache = %q, want all hits", got)
+	}
+}
+
+// TestBatchWarmProbeBypass pins the probe interlock: a probed item in a
+// warm batch takes the exact cycle-0 path — same key and bytes as a
+// direct probed /v1/run — because probes observe from the first cycle.
+func TestBatchWarmProbeBypass(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	const probedRun = `{"kernel":"vectoradd","probe":true}`
+	resp, runBody := do(t, ts, http.MethodPost, "/v1/run", probedRun)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run status = %d", resp.StatusCode)
+	}
+	resp, batchBody := do(t, ts, http.MethodPost, "/v1/batch",
+		`{"warm_cycles":1000,"runs":[`+probedRun+`]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d", resp.StatusCode)
+	}
+	items := decodeBatch(t, batchBody)
+	if items[0].Error != "" {
+		t.Fatalf("probed item failed: %s", items[0].Error)
+	}
+	if items[0].Result.WarmCycles != 0 {
+		t.Errorf("probed item reports warm_cycles %d, want exact path", items[0].Result.WarmCycles)
+	}
+	var plain RunResponse
+	if err := json.Unmarshal(runBody, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if items[0].Result.Key != plain.Key {
+		t.Errorf("probed batch item key %s differs from direct run key %s", items[0].Result.Key, plain.Key)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "hits=1 misses=0" {
+		t.Errorf("X-Cache = %q, want a cache hit off the direct run", got)
+	}
+}
+
+// TestBatchWarmRejectsNegative pins input validation.
+func TestBatchWarmRejectsNegative(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, _ := do(t, ts, http.MethodPost, "/v1/batch", `{"warm_cycles":-5,"runs":[{"kernel":"bfs"}]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}

@@ -1,0 +1,149 @@
+package simtest
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/parallel"
+	"repro/internal/sm"
+	"repro/internal/stats"
+)
+
+// fuzzMutate derives a divergable-parameter mutation from the fuzzer's
+// selector byte. Every arm stays within the divergable set, so a fork
+// must always succeed.
+func fuzzMutate(sel uint8) func(*sm.Params) {
+	switch sel % 6 {
+	case 0:
+		return nil // no divergence
+	case 1:
+		return func(p *sm.Params) { p.MaxMSHRs = 1 + int(sel%8) }
+	case 2:
+		return func(p *sm.Params) { p.DRAM.LatencyCycles = 100 + int64(sel)*4 }
+	case 3:
+		return func(p *sm.Params) { p.DRAM.BytesPerCycle = 1 + int(sel%16) }
+	case 4:
+		return func(p *sm.Params) { p.WriteBackCache = !p.WriteBackCache }
+	default:
+		return func(p *sm.Params) { p.ALULatency = 1 + int64(sel%32) }
+	}
+}
+
+// FuzzForkRestore fuzzes the (snapshot cycle, parameter mutation) plane:
+// whatever point the snapshot lands on — mid-coalesce, mid-barrier,
+// mid-fill, grid already done — restoring must never panic, and a fleet
+// of forks resumed under one worker must be bit-identical to the same
+// fleet resumed under eight (no hidden shared mutable state).
+func FuzzForkRestore(f *testing.F) {
+	f.Add(uint16(0), uint8(0))
+	f.Add(uint16(1), uint8(1))
+	f.Add(uint16(311), uint8(2))
+	f.Add(uint16(2048), uint8(3))
+	f.Add(uint16(9000), uint8(4))
+	f.Add(uint16(60000), uint8(5))
+	f.Fuzz(func(t *testing.T, k uint16, sel uint8) {
+		c := Case{Kernel: "bfs", SnapCycle: int64(k), Mutate: fuzzMutate(sel)}
+		spec, err := c.Spec()
+		if err != nil {
+			t.Fatal(err)
+		}
+		parent, err := c.warm(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, err := parent.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		forkSpec := spec
+		if c.Mutate != nil && !parent.Done() {
+			c.Mutate(&forkSpec.Params)
+		}
+
+		resumeAll := func() []*stats.Counters {
+			out, err := parallel.Map(4, func(i int) (*stats.Counters, error) {
+				fork, err := sm.Fork(forkSpec, snap)
+				if err != nil {
+					return nil, err
+				}
+				return fork.Run()
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}
+		prev := parallel.Workers()
+		defer parallel.SetWorkers(prev)
+		parallel.SetWorkers(1)
+		serial := resumeAll()
+		parallel.SetWorkers(8)
+		fanned := resumeAll()
+		for i := range serial {
+			if d := DiffCounters(serial[i], fanned[i]); d != "" {
+				t.Errorf("fork %d: j=1 vs j=8 diverged (shared mutable state?): %s", i, d)
+			}
+		}
+		for i := 1; i < len(serial); i++ {
+			if d := DiffCounters(serial[0], serial[i]); d != "" {
+				t.Errorf("fork %d diverged from fork 0 off the same snapshot: %s", i, d)
+			}
+		}
+	})
+}
+
+// TestForkFanOutRace resumes many forks off one snapshot concurrently.
+// Under -race (CI runs this suite with the detector on) any writable
+// state leaking through the snapshot — a shared pending-table array, a
+// shared cache tag store, a shared warp slice — is reported as a data
+// race; without -race the counter comparison still catches divergence.
+func TestForkFanOutRace(t *testing.T) {
+	t.Parallel()
+	c := Case{Kernel: "mummer", SnapCycle: 2000}
+	spec, err := c.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent, err := c.warm(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := parent.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	results := make([]*stats.Counters, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fork, err := sm.Fork(spec, snap)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], errs[i] = fork.Run()
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("fork %d: %v", i, errs[i])
+		}
+		if d := DiffCounters(results[0], results[i]); d != "" {
+			t.Errorf("concurrent fork %d diverged from fork 0: %s", i, d)
+		}
+	}
+	// The parent must be untouched by its forks' runs: resuming it now
+	// must land on the same counters yet again.
+	parentCounters, err := parent.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := DiffCounters(results[0], parentCounters); d != "" {
+		t.Errorf("parent resumed after fork fan-out diverged: %s", d)
+	}
+}

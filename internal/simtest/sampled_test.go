@@ -1,0 +1,137 @@
+package simtest
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/probe"
+	"repro/internal/sm"
+)
+
+// TestSampledExactAttribution pins sampled mode's accounting contract:
+// timing is approximate but work is not. A sampled run must execute the
+// whole grid — every instruction, thread, and CTA attributed exactly as
+// in the exact run.
+func TestSampledExactAttribution(t *testing.T) {
+	t.Parallel()
+	for _, kernel := range []string{"matrixmul", "mummer", "vectoradd"} {
+		t.Run(kernel, func(t *testing.T) {
+			t.Parallel()
+			c := Case{Kernel: kernel}
+			spec, err := c.Spec()
+			if err != nil {
+				t.Fatal(err)
+			}
+			exactSM, err := sm.NewSM(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact, err := exactSM.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sampledSM, err := sm.NewSM(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sampled, err := sampledSM.RunSampled(context.Background(), sm.SampleSpec{DetailedCycles: 500, SkipCycles: 2000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sampled.WarpInsts != exact.WarpInsts {
+				t.Errorf("WarpInsts: sampled %d, exact %d", sampled.WarpInsts, exact.WarpInsts)
+			}
+			if sampled.ThreadInsts != exact.ThreadInsts {
+				t.Errorf("ThreadInsts: sampled %d, exact %d", sampled.ThreadInsts, exact.ThreadInsts)
+			}
+			if sampled.CTAsRetired != exact.CTAsRetired {
+				t.Errorf("CTAsRetired: sampled %d, exact %d", sampled.CTAsRetired, exact.CTAsRetired)
+			}
+			if sampled.ThreadsRun != exact.ThreadsRun {
+				t.Errorf("ThreadsRun: sampled %d, exact %d", sampled.ThreadsRun, exact.ThreadsRun)
+			}
+			if sampled.SpillInsts != exact.SpillInsts {
+				t.Errorf("SpillInsts: sampled %d, exact %d", sampled.SpillInsts, exact.SpillInsts)
+			}
+			if sampled.Cycles <= 0 {
+				t.Errorf("sampled run reported nonpositive cycles %d", sampled.Cycles)
+			}
+		})
+	}
+}
+
+// TestSampledCancellationInFastForward is the regression test for the
+// context-poll fix: the RunContext cancellation stride must fire inside
+// the fast-forward loops too, so an expired deadline aborts a sampled
+// run even when nearly all of its work happens between detailed windows.
+// The deadline is already expired when the run starts; only the poll
+// inside the fast-forward can observe it, because the detailed window is
+// far shorter than the poll stride.
+func TestSampledCancellationInFastForward(t *testing.T) {
+	t.Parallel()
+	c := Case{Kernel: "mummer"}
+	spec, err := c.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine, err := sm.NewSM(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	time.Sleep(2 * time.Millisecond)
+	// One tiny detailed window, then a fast-forward spanning the rest of
+	// the grid: cancellation must surface from inside the fast-forward.
+	_, err = machine.RunSampled(ctx, sm.SampleSpec{DetailedCycles: 1, SkipCycles: 1 << 40})
+	if err == nil {
+		t.Fatal("sampled run with an expired deadline completed instead of cancelling")
+	}
+	if err != context.DeadlineExceeded {
+		t.Fatalf("sampled run returned %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestSampledRejectsProbe pins the probe interlock: stall attribution
+// needs exact runs, so sampled mode must refuse to start under a probe
+// rather than emit a silently holey profile.
+func TestSampledRejectsProbe(t *testing.T) {
+	t.Parallel()
+	c := Case{Kernel: "vectoradd"}
+	spec, err := c.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Probe = probe.New(0, nil)
+	machine, err := sm.NewSM(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := machine.RunSampled(context.Background(), sm.SampleSpec{DetailedCycles: 100, SkipCycles: 100}); err == nil {
+		t.Fatal("sampled mode accepted a probe")
+	}
+}
+
+// TestParseSampleSpec pins the flag syntax.
+func TestParseSampleSpec(t *testing.T) {
+	t.Parallel()
+	sp, err := sm.ParseSampleSpec("detailed=1000,skip=9000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.DetailedCycles != 1000 || sp.SkipCycles != 9000 {
+		t.Fatalf("parsed %+v", sp)
+	}
+	if sp.String() != "detailed=1000,skip=9000" {
+		t.Fatalf("String() = %q", sp.String())
+	}
+	if sp, err := sm.ParseSampleSpec(""); err != nil || sp.Enabled() {
+		t.Fatalf("empty spec: %+v, %v", sp, err)
+	}
+	for _, bad := range []string{"detailed=100", "skip=100", "detailed=0,skip=5", "detailed=a,skip=5", "bogus=1,skip=5", "detailed"} {
+		if _, err := sm.ParseSampleSpec(bad); err == nil {
+			t.Errorf("ParseSampleSpec(%q) accepted a bad spec", bad)
+		}
+	}
+}

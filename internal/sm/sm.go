@@ -104,6 +104,10 @@ type SM struct {
 	sched     sched.Scheduler
 	disp      *dispatch.Dispatcher
 	mem       *memsys.MemSys
+	// dramModel is the SM-private DRAM channel, nil when Spec.Memory
+	// injected a shared system. Snapshot needs it: a shared memory
+	// system's state belongs to the chip, not to one SM.
+	dramModel *dram.DRAM
 	counters  stats.Counters
 	// prof is the attached observability probe, nil when disabled.
 	// Every hook call site is guarded, so a run without a probe does no
@@ -156,13 +160,16 @@ func NewSM(spec Spec) (*SM, error) {
 		bankModel = banks.NewAggressive(cfg.Design)
 	}
 	mem := spec.Memory
+	var owned *dram.DRAM
 	if mem == nil {
-		mem = dram.New(params.DRAM)
+		owned = dram.New(params.DRAM)
+		mem = owned
 	}
 	s := &SM{
 		params:    params,
 		cfg:       cfg,
 		bankModel: bankModel,
+		dramModel: owned,
 		prof:      spec.Probe,
 	}
 	var err error
@@ -179,15 +186,22 @@ func NewSM(spec Spec) (*SM, error) {
 		s.disp.EnableOutcomes(cfg.Design, params.AggressiveScatter)
 	}
 	s.visit = s.visitWarp
-	s.mem = memsys.New(memsys.Config{
+	s.mem = memsys.New(memConfig(cfg, params), mem, &s.counters)
+	return s, nil
+}
+
+// memConfig derives the memory-pipeline configuration from the SM
+// parameters; NewSM and SetParams must agree on it so a fork built with
+// divergent params and an in-place param switch behave identically.
+func memConfig(cfg config.MemConfig, params Params) memsys.Config {
+	return memsys.Config{
 		CacheBytes:   cfg.CacheBytes,
 		CacheLatency: params.CacheLatency,
 		TexLatency:   params.TexLatency,
 		DRAMLatency:  params.DRAM.LatencyCycles,
 		MaxMSHRs:     params.MaxMSHRs,
 		WriteBack:    params.WriteBackCache,
-	}, mem, &s.counters)
-	return s, nil
+	}
 }
 
 // cycleBound guards against scheduler deadlock in case of a malformed
