@@ -1,0 +1,276 @@
+package api
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client is a thin HTTP client for the simulation service. The zero
+// value is not usable; call NewClient. Methods return *Error (with
+// HTTPStatus filled) for any non-2xx response, so callers branch on the
+// envelope's code rather than parsing bodies.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8344".
+	BaseURL string
+	// HTTP is the underlying client; NewClient defaults it to
+	// http.DefaultClient. Streaming (JobEvents) and long polls rely on
+	// its timeout being unset or generous.
+	HTTP *http.Client
+}
+
+// NewClient returns a Client for the server at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), HTTP: http.DefaultClient}
+}
+
+// do issues one JSON request and decodes the response into out (nil to
+// discard). Non-2xx responses decode into *Error.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	body, err := c.doRaw(ctx, method, path, in)
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("api: decoding %s %s: %w", method, path, err)
+	}
+	return nil
+}
+
+// doRaw issues one JSON request and returns the raw response body.
+func (c *Client) doRaw(ctx context.Context, method, path string, in any) ([]byte, error) {
+	var rd io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return nil, fmt.Errorf("api: encoding %s %s: %w", method, path, err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, decodeError(resp.StatusCode, body)
+	}
+	return body, nil
+}
+
+// decodeError turns a non-2xx body into *Error, synthesizing an
+// envelope for responses that are not ours (e.g. the mux's 405).
+func decodeError(status int, body []byte) *Error {
+	var env ErrorBody
+	if err := json.Unmarshal(body, &env); err == nil && env.Error != nil && env.Error.Code != "" {
+		env.Error.HTTPStatus = status
+		return env.Error
+	}
+	return &Error{
+		Code:       CodeInternal,
+		Message:    strings.TrimSpace(string(body)),
+		HTTPStatus: status,
+	}
+}
+
+// Run executes one synchronous simulation.
+func (c *Client) Run(ctx context.Context, req RunRequest) (*RunResponse, error) {
+	var out RunResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/run", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Batch executes one synchronous batch.
+func (c *Client) Batch(ctx context.Context, req BatchRequest) (*BatchResponse, error) {
+	var out BatchResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/batch", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Experiment renders one named paper experiment synchronously.
+func (c *Client) Experiment(ctx context.Context, req ExperimentRequest) (*ExperimentResponse, error) {
+	var out ExperimentResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/experiment", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Kernels lists the benchmark registry.
+func (c *Client) Kernels(ctx context.Context) ([]KernelInfo, error) {
+	var out []KernelInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/kernels", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Metrics fetches the service's counters.
+func (c *Client) Metrics(ctx context.Context) (*Snapshot, error) {
+	var out Snapshot
+	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SubmitJob submits an asynchronous job and returns its initial state.
+func (c *Client) SubmitJob(ctx context.Context, req JobRequest) (*Job, error) {
+	var out Job
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Job polls one job's status and progress.
+func (c *Client) Job(ctx context.Context, id string) (*Job, error) {
+	var out Job
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Jobs lists every job the server knows about.
+func (c *Client) Jobs(ctx context.Context) ([]Job, error) {
+	var out []Job
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CancelJob cancels a job (a no-op on terminal jobs) and returns its
+// state after the request.
+func (c *Client) CancelJob(ctx context.Context, id string) (*Job, error) {
+	var out Job
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// JobResult fetches a terminal job's final result bytes — for a batch
+// or sweep job, byte-identical to the synchronous /v1/batch response of
+// the same body. A non-terminal job answers 409 (CodeNotReady).
+func (c *Client) JobResult(ctx context.Context, id string) ([]byte, error) {
+	return c.doRaw(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil)
+}
+
+// WaitJob polls the job at the given interval until it reaches a
+// terminal state (or ctx ends). onPoll, when non-nil, observes every
+// polled state.
+func (c *Client) WaitJob(ctx context.Context, id string, interval time.Duration, onPoll func(*Job)) (*Job, error) {
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		j, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if onPoll != nil {
+			onPoll(j)
+		}
+		if j.Terminal() {
+			return j, nil
+		}
+		select {
+		case <-ctx.Done():
+			return j, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// JobEvents streams a job's server-sent events, invoking fn for each
+// decoded event — the replayed history first, then live events — until
+// the server ends the stream (after the job's terminal EventDone), fn
+// returns a non-nil error, or ctx ends. A nil return means the stream
+// completed.
+func (c *Client) JobEvents(ctx context.Context, id string, fn func(JobEvent) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return decodeError(resp.StatusCode, body)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var evType string
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if evType != "" || len(data) > 0 {
+				ev, err := decodeEvent(evType, data)
+				if err != nil {
+					return err
+				}
+				if err := fn(ev); err != nil {
+					return err
+				}
+			}
+			evType, data = "", nil
+		case strings.HasPrefix(line, "event:"):
+			evType = strings.TrimSpace(line[len("event:"):])
+		case strings.HasPrefix(line, "data:"):
+			data = append(data, strings.TrimPrefix(line[len("data:"):], " ")...)
+		}
+	}
+	return sc.Err()
+}
+
+// decodeEvent unmarshals one SSE frame into a JobEvent.
+func decodeEvent(evType string, data []byte) (JobEvent, error) {
+	ev := JobEvent{Type: evType, Data: data}
+	switch evType {
+	case EventState, EventDone:
+		ev.Job = new(Job)
+		if err := json.Unmarshal(data, ev.Job); err != nil {
+			return ev, fmt.Errorf("api: %s event: %w", evType, err)
+		}
+	case EventItem:
+		ev.Item = new(JobItemEvent)
+		if err := json.Unmarshal(data, ev.Item); err != nil {
+			return ev, fmt.Errorf("api: item event: %w", err)
+		}
+	}
+	return ev, nil
+}

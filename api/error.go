@@ -1,0 +1,68 @@
+package api
+
+import "fmt"
+
+// Error codes. Every non-2xx response from the service carries exactly
+// one of these in its envelope; clients branch on the code, never on
+// message text.
+const (
+	// CodeBadRequest (400): malformed JSON, unknown fields, unknown
+	// kernels or experiments, invalid machine descriptions or job specs.
+	CodeBadRequest = "bad_request"
+	// CodeNotFound (404): no job with the requested id.
+	CodeNotFound = "not_found"
+	// CodeCancelled (408): the request's context ended before the
+	// simulation finished — the client went away or a job was cancelled.
+	CodeCancelled = "cancelled"
+	// CodeNotReady (409): a job's result was requested before the job
+	// reached a terminal state; poll GET /v1/jobs/{id} and retry.
+	CodeNotReady = "not_ready"
+	// CodeInfeasible (422): the kernel cannot achieve residency of even
+	// one CTA under the requested configuration (core.FitError /
+	// config.ErrDoesNotFit). Sweep over it, don't retry it.
+	CodeInfeasible = "infeasible"
+	// CodeOverCapacity (429): admission rejected the request — the
+	// in-flight slots are busy and the wait queue is full. The response
+	// always carries a Retry-After header and RetryAfterS field.
+	CodeOverCapacity = "over_capacity"
+	// CodeInternal (500): an unexpected simulation failure.
+	CodeInternal = "internal"
+	// CodeDeadline (504): the simulation exceeded its per-request
+	// deadline (timeout_ms or the server default).
+	CodeDeadline = "deadline"
+)
+
+// Error is the unified error payload of every non-2xx response,
+// wrapped in ErrorBody on the wire:
+//
+//	{"error":{"code":"over_capacity","message":"...","retry_after_s":3}}
+//
+// It doubles as the Go error the Client returns, so callers can
+// errors.As their way to the code and status.
+type Error struct {
+	// Code is one of the Code* constants — stable and machine-readable.
+	Code string `json:"code"`
+	// Message is a human-oriented description; its text is not part of
+	// the API contract.
+	Message string `json:"message"`
+	// RetryAfterS, when positive, is the server's backoff hint in
+	// seconds (mirrors the Retry-After header on 429 responses).
+	RetryAfterS int `json:"retry_after_s,omitempty"`
+
+	// HTTPStatus is the response's status code, filled in by the Client
+	// on decode; it does not travel in the body.
+	HTTPStatus int `json:"-"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.HTTPStatus != 0 {
+		return fmt.Sprintf("api: %s (%d): %s", e.Code, e.HTTPStatus, e.Message)
+	}
+	return fmt.Sprintf("api: %s: %s", e.Code, e.Message)
+}
+
+// ErrorBody is the JSON envelope of every non-2xx response.
+type ErrorBody struct {
+	Error *Error `json:"error"`
+}

@@ -1,0 +1,212 @@
+package api
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/machine"
+)
+
+// JobRequest submits an asynchronous job: exactly one of the fields
+// must be set. POST /v1/jobs validates the spec synchronously (a bad
+// spec is a 400, never a failed job), persists it when the server has a
+// -data-dir, and answers 202 with the Job before any simulation runs.
+type JobRequest struct {
+	// Run executes one simulation.
+	Run *RunRequest `json:"run,omitempty"`
+	// Batch executes many simulations with the /v1/batch semantics
+	// (ordering, warm-prefix sharing, per-item errors).
+	Batch *BatchRequest `json:"batch,omitempty"`
+	// Sweep expands a parameter/capacity sweep into a batch server-side
+	// (the cmd/sweep surface as a job).
+	Sweep *SweepRequest `json:"sweep,omitempty"`
+	// Experiment renders one named paper experiment.
+	Experiment *ExperimentRequest `json:"experiment,omitempty"`
+}
+
+// SweepRequest is a server-side sweep: one kernel, one base machine,
+// one resource axis swept across a range. Capacity axes (rf, shared,
+// cache — values in KB) run one independent simulation per point;
+// parameter axes (mshr, dramlat, drambw) are divergable across a
+// snapshot and share one copy-on-write warm prefix when WarmCycles is
+// set (see BatchRequest.WarmCycles).
+type SweepRequest struct {
+	// Kernel and BF name the benchmark, as in RunRequest.
+	Kernel string `json:"kernel"`
+	BF     int    `json:"bf,omitempty"`
+	// Machine is the base machine; the swept field is overwritten per
+	// point. An entirely unspecified capacity split takes the sweep
+	// default (full-occupancy RF, unbounded shared, baseline cache —
+	// exactly cmd/sweep's local baseline), not the paper baseline.
+	Machine machine.Description `json:"machine,omitempty"`
+	// RegsPerThread and Seed pass through to every point's RunRequest.
+	RegsPerThread int    `json:"regs_per_thread,omitempty"`
+	Seed          uint64 `json:"seed,omitempty"`
+	// Resource is the swept axis: "rf" | "shared" | "cache" (capacity,
+	// KB) or "mshr" | "dramlat" | "drambw" (timing parameter).
+	Resource string `json:"resource"`
+	// From/To/Step define the value range; Step is a positive additive
+	// step (e.g. "64") or "2x" for doubling.
+	From int    `json:"from"`
+	To   int    `json:"to"`
+	Step string `json:"step"`
+	// WarmCycles shares one warm prefix across parameter-axis points
+	// (rejected for capacity axes, which define the warm-up history).
+	WarmCycles int64 `json:"warm_cycles,omitempty"`
+	// TimeoutMS bounds each point's wall time (0 = server default).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// ParseStep turns a sweep step spec into a successor function: "2x"
+// doubles, a positive integer adds. Anything else — including trailing
+// garbage like "64abc", which fmt.Sscanf would silently accept — is
+// rejected.
+func ParseStep(step string) (func(v int) int, error) {
+	if step == "2x" {
+		return func(v int) int { return v * 2 }, nil
+	}
+	add, err := strconv.Atoi(step)
+	if err != nil || add <= 0 {
+		return nil, fmt.Errorf("bad step %q (want a positive step or 2x)", step)
+	}
+	return func(v int) int { return v + add }, nil
+}
+
+// Values expands the sweep's From/To/Step range into its point values.
+func (s *SweepRequest) Values() ([]int, error) {
+	next, err := ParseStep(s.Step)
+	if err != nil {
+		return nil, err
+	}
+	if s.From <= 0 || s.To < s.From {
+		return nil, fmt.Errorf("bad sweep range [%d, %d] (want 0 < from <= to)", s.From, s.To)
+	}
+	var values []int
+	for v := s.From; v <= s.To; v = next(v) {
+		values = append(values, v)
+	}
+	return values, nil
+}
+
+// Job states. A job moves queued -> running -> one of the terminal
+// states (done, failed, cancelled); a restarted server re-enters
+// persisted queued/running jobs as queued.
+const (
+	JobQueued    = "queued"
+	JobRunning   = "running"
+	JobDone      = "done"
+	JobFailed    = "failed"
+	JobCancelled = "cancelled"
+)
+
+// Job is a job's observable state: the POST /v1/jobs and GET
+// /v1/jobs/{id} response.
+type Job struct {
+	// ID addresses the job ("j1", "j2", ...; unique per data directory).
+	ID string `json:"id"`
+	// Type is "run", "batch", "sweep", or "experiment".
+	Type string `json:"type"`
+	// State is one of the Job* state constants.
+	State string `json:"state"`
+	// Note is a short human description of the job ("sweep bfs cache
+	// 32..512KB").
+	Note string `json:"note,omitempty"`
+	// Progress is the live item accounting.
+	Progress JobProgress `json:"progress"`
+	// Resumes counts server restarts that re-entered this job.
+	Resumes int `json:"resumes,omitempty"`
+	// CreatedUnix/StartedUnix/FinishedUnix are Unix-second timestamps
+	// (0 = not yet).
+	CreatedUnix  int64 `json:"created_unix,omitempty"`
+	StartedUnix  int64 `json:"started_unix,omitempty"`
+	FinishedUnix int64 `json:"finished_unix,omitempty"`
+	// Error is set when State is failed or cancelled.
+	Error *Error `json:"error,omitempty"`
+}
+
+// Terminal reports whether the job has finished (successfully or not).
+func (j *Job) Terminal() bool {
+	return j.State == JobDone || j.State == JobFailed || j.State == JobCancelled
+}
+
+// JobProgress is a job's item accounting. Done counts every settled
+// item; the cache fields split settled items by where their result came
+// from, so Simulated = Done - CacheHits - StoreHits - Coalesced.
+type JobProgress struct {
+	// Done and Total count items; Errors counts items that settled with
+	// a per-item error (e.g. infeasible sweep points).
+	Done   int `json:"done"`
+	Total  int `json:"total"`
+	Errors int `json:"errors,omitempty"`
+	// CacheHits counts items served from the in-memory result cache,
+	// StoreHits items replayed from the persistent store (the resume
+	// path), Coalesced items that waited on an identical in-flight
+	// computation.
+	CacheHits int `json:"cache_hits,omitempty"`
+	StoreHits int `json:"store_hits,omitempty"`
+	Coalesced int `json:"coalesced,omitempty"`
+	// Current describes what the job is doing right now — notably the
+	// warm prefix being computed ("warm@20000 group ab12cd34"), the
+	// checkpoint granularity a killed sweep re-pays on resume.
+	Current string `json:"current,omitempty"`
+}
+
+// JobStats is the engine half of the /metrics snapshot.
+type JobStats struct {
+	// Submitted counts jobs accepted this process; Resumed those
+	// re-entered from a previous process's data directory.
+	Submitted int64 `json:"submitted"`
+	Resumed   int64 `json:"resumed"`
+	// Queued and Active are current states; Done/Failed/Cancelled count
+	// terminal transitions this process.
+	Queued    int   `json:"queued"`
+	Active    int   `json:"active"`
+	Done      int64 `json:"done"`
+	Failed    int64 `json:"failed"`
+	Cancelled int64 `json:"cancelled"`
+}
+
+// Job event types, in SSE "event:" fields and JobEvent.Type.
+const (
+	// EventState carries the full Job after a state transition.
+	EventState = "state"
+	// EventItem reports one settled item. Item events are emitted in
+	// item-index order regardless of execution interleaving, so a
+	// job's event stream is deterministic.
+	EventItem = "item"
+	// EventProbe carries one live probe NDJSON line from a probed item.
+	EventProbe = "probe"
+	// EventDone is the stream terminator: the final Job state, after
+	// which the server closes the stream.
+	EventDone = "done"
+)
+
+// JobEvent is one server-sent event from GET /v1/jobs/{id}/events. The
+// wire form is standard SSE: "event:" carries Type, "data:" one JSON
+// object (a Job for state/done events, a JobItemEvent for item events,
+// a raw probe NDJSON record for probe events).
+type JobEvent struct {
+	Type string
+	// Job is decoded for EventState/EventDone events.
+	Job *Job
+	// Item is decoded for EventItem events.
+	Item *JobItemEvent
+	// Data is the raw data payload of every event (the NDJSON line for
+	// EventProbe).
+	Data []byte
+}
+
+// JobItemEvent is the data payload of an EventItem event.
+type JobItemEvent struct {
+	// Index is the item's position in the job; Key its canonical result
+	// key in the store.
+	Index int    `json:"index"`
+	Key   string `json:"key"`
+	// Status is the item's HTTP-equivalent status; Cache where the
+	// result came from ("miss", "hit", "stored", "coalesced").
+	Status int    `json:"status"`
+	Cache  string `json:"cache"`
+	// Done/Total snapshot the job's progress after this item settled.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}

@@ -1,0 +1,78 @@
+package api
+
+import "testing"
+
+func TestParseStep(t *testing.T) {
+	cases := []struct {
+		step    string
+		wantErr bool
+		from    int
+		next    int // expected successor of from, when valid
+	}{
+		{"2x", false, 32, 64},
+		{"64", false, 32, 96},
+		{"1", false, 10, 11},
+		{"64abc", true, 0, 0}, // fmt.Sscanf used to accept this as 64
+		{"abc", true, 0, 0},
+		{"", true, 0, 0},
+		{"0", true, 0, 0},
+		{"-8", true, 0, 0},
+		{"2x2", true, 0, 0},
+		{" 64", true, 0, 0},
+		{"6 4", true, 0, 0},
+	}
+	for _, c := range cases {
+		next, err := ParseStep(c.step)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseStep(%q): want error, got none", c.step)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseStep(%q): %v", c.step, err)
+			continue
+		}
+		if got := next(c.from); got != c.next {
+			t.Errorf("ParseStep(%q)(%d) = %d, want %d", c.step, c.from, got, c.next)
+		}
+	}
+}
+
+func TestSweepValues(t *testing.T) {
+	s := SweepRequest{From: 32, To: 256, Step: "2x"}
+	vals, err := s.Values()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{32, 64, 128, 256}
+	if len(vals) != len(want) {
+		t.Fatalf("values = %v, want %v", vals, want)
+	}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("values = %v, want %v", vals, want)
+		}
+	}
+	for _, bad := range []SweepRequest{
+		{From: 0, To: 256, Step: "2x"},
+		{From: 256, To: 32, Step: "2x"},
+		{From: 32, To: 256, Step: "nope"},
+	} {
+		if _, err := bad.Values(); err == nil {
+			t.Errorf("Values(%+v): want error, got none", bad)
+		}
+	}
+}
+
+func TestJobTerminal(t *testing.T) {
+	for state, want := range map[string]bool{
+		JobQueued: false, JobRunning: false,
+		JobDone: true, JobFailed: true, JobCancelled: true,
+	} {
+		j := Job{State: state}
+		if j.Terminal() != want {
+			t.Errorf("Terminal(%s) = %v, want %v", state, !want, want)
+		}
+	}
+}

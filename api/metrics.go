@@ -1,0 +1,69 @@
+package api
+
+import (
+	"repro/internal/store"
+	"repro/internal/workloads"
+)
+
+// HistogramBucket is one bucket of the sim-seconds histogram; LE is the
+// inclusive upper bound in seconds ("+Inf" is encoded on the last
+// bucket's Infinite flag to stay valid JSON).
+type HistogramBucket struct {
+	LE       float64 `json:"le,omitempty"`
+	Infinite bool    `json:"infinite,omitempty"`
+	Count    int64   `json:"count"`
+}
+
+// HistogramSnapshot is the JSON form of the sim-seconds histogram.
+type HistogramSnapshot struct {
+	Count   int64             `json:"count"`
+	SumSecs float64           `json:"sum_seconds"`
+	Buckets []HistogramBucket `json:"buckets"`
+}
+
+// Snapshot is the GET /metrics response schema.
+type Snapshot struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+
+	// Request counts by endpoint, plus outcome counters. Rejected is
+	// the 429 backpressure count; Timeouts the 504 deadline count.
+	RunRequests        int64 `json:"run_requests"`
+	BatchRequests      int64 `json:"batch_requests"`
+	ExperimentRequests int64 `json:"experiment_requests"`
+	JobRequests        int64 `json:"job_requests"`
+	Rejected           int64 `json:"rejected"`
+	ClientErrors       int64 `json:"client_errors"`
+	ServerErrors       int64 `json:"server_errors"`
+	Timeouts           int64 `json:"timeouts"`
+
+	// Result-cache effectiveness. Coalesced counts requests that waited
+	// on an identical in-flight computation instead of simulating.
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	CacheEntries  int     `json:"cache_entries"`
+	CacheBytes    int64   `json:"cache_bytes"`
+	Coalesced     int64   `json:"coalesced"`
+
+	// Store is the persistent result store underneath the in-memory
+	// cache (zero-valued when the server runs without -data-dir).
+	Store store.Stats `json:"store"`
+
+	// Jobs is the async job engine's accounting.
+	Jobs JobStats `json:"jobs"`
+
+	// Admission state: queue depth and in-flight holders of the gate.
+	QueueDepth int `json:"queue_depth"`
+	InFlight   int `json:"in_flight"`
+	Workers    int `json:"workers"`
+
+	// SimRuns counts simulations actually executed (misses that ran);
+	// SimSeconds is their wall-time histogram.
+	SimRuns    int64             `json:"sim_runs"`
+	SimSeconds HistogramSnapshot `json:"sim_seconds"`
+
+	// TraceCache is the process-wide trace cache underneath the result
+	// cache (see internal/workloads).
+	TraceCache         workloads.TraceCacheStats `json:"trace_cache"`
+	TraceCacheHitRatio float64                   `json:"trace_cache_hit_ratio"`
+}

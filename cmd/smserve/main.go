@@ -1,14 +1,17 @@
 // Command smserve runs the simulation service: a long-running HTTP/JSON
-// server exposing single-kernel runs, multi-kernel batches, and the
-// named paper experiments, with a canonical-config result cache,
-// bounded admission (429 + Retry-After beyond the queue), and graceful
-// drain on SIGTERM. See internal/serve for the API and README.md for
-// curl examples.
+// server exposing single-kernel runs, multi-kernel batches, the named
+// paper experiments, and durable async jobs (sweeps and campaigns that
+// survive restarts), with a canonical-config result cache, an optional
+// persistent result store, bounded admission (429 + Retry-After beyond
+// the queue), and graceful drain on SIGTERM. See internal/serve for the
+// implementation, the api package for the request/response types, and
+// README.md for curl examples.
 //
 // Usage:
 //
 //	smserve [-addr :8344] [-j N] [-inflight N] [-queue N]
 //	        [-cache N] [-timeout 60s] [-drain 30s]
+//	        [-data-dir DIR] [-job-slots N]
 //
 // -j sets the process simulation worker budget batch items fan out
 // under (0 = GOMAXPROCS); -inflight bounds concurrently simulating
@@ -16,6 +19,13 @@
 // the result LRU in entries; -timeout is the default per-request
 // simulation deadline; -drain bounds how long shutdown waits for
 // in-flight requests.
+//
+// -data-dir enables durability: completed result bodies persist under
+// DIR/results (content-addressed by canonical config hash) and job
+// records under DIR/jobs. A server restarted on the same -data-dir
+// replays stored results byte-identically and resumes unfinished jobs,
+// skipping every already-stored item. -job-slots bounds concurrently
+// executing jobs (they admit separately from synchronous requests).
 package main
 
 import (
@@ -45,6 +55,8 @@ func main() {
 		cache    = flag.Int("cache", 256, "result cache capacity in entries")
 		timeout  = flag.Duration("timeout", 60*time.Second, "default per-request simulation deadline")
 		drain    = flag.Duration("drain", 30*time.Second, "max wait for in-flight requests on shutdown")
+		dataDir  = flag.String("data-dir", "", "persistence root: results + job records survive restarts (empty = in-memory only)")
+		jobSlots = flag.Int("job-slots", 2, "max concurrently executing async jobs")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -60,12 +72,17 @@ func main() {
 	if q <= 0 {
 		q = -1
 	}
-	svc := serve.New(serve.Options{
+	svc, err := serve.New(serve.Options{
 		InFlight:       *inflight,
 		Queue:          q,
 		CacheEntries:   *cache,
 		DefaultTimeout: *timeout,
+		DataDir:        *dataDir,
+		JobSlots:       *jobSlots,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -91,5 +108,8 @@ func main() {
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("drain: %v", err)
 	}
+	// Abandon (without marking terminal) any still-running jobs so a
+	// restart on the same -data-dir resumes them.
+	svc.Close()
 	log.Print("drained cleanly")
 }

@@ -17,6 +17,13 @@
 // counts — the paper driver's sampling table reports the measured error
 // per workload.
 //
+// -submit URL runs the sweep remotely instead: it submits the sweep as
+// a durable async job to an smserve instance (POST /v1/jobs), reports
+// progress while polling, and renders the same table from the job's
+// result. A server started with -data-dir persists every completed
+// point, so an interrupted sweep resumes where it left off — even
+// across server restarts.
+//
 // Examples:
 //
 //	sweep -kernel bfs -resource cache -from 32 -to 512 -step 2x
@@ -25,17 +32,19 @@
 //	sweep -kernel mummer -resource mshr -from 2 -to 32 -step 2x -warm 50000
 //	sweep -kernel bfs -resource dramlat -from 200 -to 800 -step 100 -warm 20000
 //	sweep -kernel dgemm -resource cache -from 32 -to 512 -step 2x -sample detailed=4096,skip=32768
+//	sweep -kernel bfs -resource cache -from 32 -to 512 -step 2x -submit http://127.0.0.1:8344
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
-	"strconv"
 	"time"
 
+	"repro/api"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/occupancy"
@@ -46,21 +55,6 @@ import (
 	"repro/internal/sm"
 	"repro/internal/workloads"
 )
-
-// parseStep turns a -step value into a successor function: "2x"
-// doubles, a positive integer adds. Anything else — including trailing
-// garbage like "64abc", which fmt.Sscanf would silently accept — is
-// rejected.
-func parseStep(step string) (func(v int) int, error) {
-	if step == "2x" {
-		return func(v int) int { return v * 2 }, nil
-	}
-	add, err := strconv.Atoi(step)
-	if err != nil || add <= 0 {
-		return nil, fmt.Errorf("bad -step %q (want a positive step or 2x)", step)
-	}
-	return func(v int) int { return v + add }, nil
-}
 
 // paramMutators maps the fork-compatible -resource names to their
 // parameter mutation. Every axis here is divergable across a snapshot
@@ -84,6 +78,7 @@ func main() {
 		schedName  = flag.String("sched", "", "warp scheduler: twolevel (default) | gto")
 		warmCycles = flag.Int64("warm", 0, "warm-prefix cycle for parameter sweeps: fork every point from one run warmed to this cycle")
 		sampleSpec = flag.String("sample", "", "sampled simulation for capacity sweeps: detailed=W,skip=S cycles")
+		submitURL  = flag.String("submit", "", "submit the sweep as an async job to this smserve base URL instead of simulating locally")
 		csv        = flag.Bool("csv", false, "emit CSV")
 	)
 	prof := profiling.AddFlags(flag.CommandLine)
@@ -109,7 +104,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(2)
 	}
-	next, err := parseStep(*step)
+	next, err := api.ParseStep(*step)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(2)
@@ -134,6 +129,28 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "sweep: unknown resource %q\n", *resource)
 		os.Exit(2)
+	}
+
+	if *submitURL != "" {
+		if sample.Enabled() {
+			fmt.Fprintln(os.Stderr, "sweep: -sample is local-only (the job API runs exact simulations)")
+			os.Exit(2)
+		}
+		req := api.SweepRequest{
+			Kernel:     *kernelName,
+			Resource:   *resource,
+			From:       *from,
+			To:         *to,
+			Step:       *step,
+			WarmCycles: *warmCycles,
+		}
+		req.Machine.MaxThreads = *threads
+		req.Machine.Timing.Scheduler = string(policy)
+		if err := submitSweep(*submitURL, req, isParam, *csv); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	var values []int
@@ -248,4 +265,91 @@ func paramSweep(r *core.Runner, k *workloads.Kernel, cfg config.MemConfig, value
 		}
 		return resultRow(fmt.Sprint(values[i]), res), nil
 	})
+}
+
+// submitSweep runs the sweep remotely as a durable async job on an
+// smserve instance: submit, poll with progress lines on stderr, fetch
+// the final result, and render the same table the local path prints.
+func submitSweep(baseURL string, req api.SweepRequest, isParam, csv bool) error {
+	values, err := req.Values()
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	c := api.NewClient(baseURL)
+	start := time.Now()
+	job, err := c.SubmitJob(ctx, api.JobRequest{Sweep: &req})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sweep: submitted job %s (%s) to %s\n", job.ID, job.Note, baseURL)
+	lastDone := -1
+	job, err = c.WaitJob(ctx, job.ID, 300*time.Millisecond, func(j *api.Job) {
+		if j.Progress.Done != lastDone {
+			lastDone = j.Progress.Done
+			fmt.Fprintf(os.Stderr, "sweep: %s %d/%d point(s) (cache %d, store %d)\n",
+				j.State, j.Progress.Done, j.Progress.Total, j.Progress.CacheHits, j.Progress.StoreHits)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if job.State != api.JobDone {
+		return fmt.Errorf("job %s finished %s: %v", job.ID, job.State, job.Error)
+	}
+	raw, err := c.JobResult(ctx, job.ID)
+	if err != nil {
+		return err
+	}
+	var br api.BatchResponse
+	if err := json.Unmarshal(raw, &br); err != nil {
+		return fmt.Errorf("decoding job result: %w", err)
+	}
+	items, err := br.Items()
+	if err != nil {
+		return fmt.Errorf("decoding job result items: %w", err)
+	}
+	if len(items) != len(values) {
+		return fmt.Errorf("job returned %d point(s), want %d", len(items), len(values))
+	}
+
+	title := fmt.Sprintf("%s: performance vs %s", req.Kernel, req.Resource)
+	firstCol := "value"
+	if !isParam {
+		title += " capacity"
+		firstCol = "capacity"
+	} else {
+		title += fmt.Sprintf(" (forked at cycle %d)", req.WarmCycles)
+	}
+	t := report.NewTable(title, firstCol, "threads", "cycles", "IPC", "dram bytes", "energy (J)")
+	for i, it := range items {
+		label := fmt.Sprint(values[i])
+		if !isParam {
+			label = fmt.Sprintf("%dK", values[i])
+		}
+		switch {
+		case it.Error != nil && it.Error.Code == api.CodeInfeasible:
+			t.AddRow(label, "-", "infeasible", "-", "-", "-")
+		case it.Error != nil:
+			return fmt.Errorf("point %s failed: %v", label, it.Error)
+		default:
+			t.AddRow(responseRow(label, it.Result)...)
+		}
+	}
+	if csv {
+		fmt.Print(t.CSV())
+	} else {
+		fmt.Print(t)
+	}
+	fmt.Fprintf(os.Stderr, "sweep: %d point(s) in %v via %s\n",
+		len(values), time.Since(start).Round(time.Millisecond), baseURL)
+	return nil
+}
+
+// responseRow is resultRow for a service response: same columns, same
+// formatting, so remote and local tables agree.
+func responseRow(label string, r *api.RunResponse) []string {
+	return []string{label, fmt.Sprint(r.Occupancy.Threads),
+		fmt.Sprint(r.Counters.Cycles), fmt.Sprintf("%.3f", r.Counters.IPC()),
+		fmt.Sprint(r.Counters.DRAMBytes()), fmt.Sprintf("%.3e", r.Energy.Total)}
 }

@@ -17,8 +17,8 @@ import (
 // same value, which is what makes Canonical and Key well defined.
 //
 // Describe covers exactly the surface Description can express; resolved
-// parameters outside it (sm.Params.GreedyScheduler, MaxMSHRs) have no
-// JSON field today and therefore cannot differ between two descriptions.
+// parameters outside it (sm.Params.GreedyScheduler) have no JSON field
+// today and therefore cannot differ between two descriptions.
 func Describe(cfg config.MemConfig, p sm.Params, e energy.Params) Description {
 	var d Description
 	d.Design = cfg.Design.String()
@@ -37,6 +37,7 @@ func Describe(cfg config.MemConfig, p sm.Params, e energy.Params) Description {
 	d.Timing.DRAMRowMissCycles = p.DRAM.RowMissPenalty
 	d.Timing.ActiveWarps = p.ActiveWarps
 	d.Timing.DeschedulePast = p.DeschedulePast
+	d.Timing.MaxMSHRs = p.MaxMSHRs
 	d.Timing.Scheduler = string(p.Scheduler)
 	if d.Timing.Scheduler == "" {
 		// The zero sched.Policy means twolevel; spell it out so the

@@ -99,6 +99,12 @@ func TestCanonicalKeyEquivalences(t *testing.T) {
 			same: false,
 		},
 		{
+			name: "mshr bound differs",
+			a:    base,
+			b:    base[:len(base)-1] + `,"timing":{"max_mshrs":8}}`,
+			same: false,
+		},
+		{
 			name: "write policy differs",
 			a:    base,
 			b:    base[:len(base)-1] + `,"timing":{"write_back_cache":true}}`,

@@ -39,6 +39,9 @@ type Description struct {
 		DRAMRowMissCycles int64 `json:"dram_row_miss_cycles,omitempty"`
 		ActiveWarps       int   `json:"active_warps,omitempty"`
 		DeschedulePast    int64 `json:"deschedule_past,omitempty"`
+		// MaxMSHRs bounds outstanding cache misses (0 = unbounded, the
+		// paper's model).
+		MaxMSHRs int `json:"max_mshrs,omitempty"`
 		// Scheduler is the warp-scheduling policy: "twolevel" (default)
 		// or "gto".
 		Scheduler         string `json:"scheduler,omitempty"`
@@ -135,6 +138,9 @@ func (d Description) Resolve() (config.MemConfig, sm.Params, energy.Params, erro
 		p.ActiveWarps = d.Timing.ActiveWarps
 	}
 	setI64(&p.DeschedulePast, d.Timing.DeschedulePast)
+	if d.Timing.MaxMSHRs > 0 {
+		p.MaxMSHRs = d.Timing.MaxMSHRs
+	}
 	pol, err := sched.ParsePolicy(d.Timing.Scheduler)
 	if err != nil {
 		return cfg, sm.Params{}, energy.Params{}, fmt.Errorf("machine: %w", err)

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/api"
+)
+
+// The service's error vocabulary lives in the api package (api.Error,
+// api.Code*); this file is the serve-side glue: constructors that pin
+// each condition to its stable code and status, and the single writer
+// every handler funnels non-2xx responses through, so the envelope
+// shape — {"error":{"code","message","retry_after_s"}} — cannot drift
+// between endpoints.
+
+func errBadRequest(format string, args ...any) *api.Error {
+	return &api.Error{
+		Code:       api.CodeBadRequest,
+		Message:    fmt.Sprintf(format, args...),
+		HTTPStatus: http.StatusBadRequest,
+	}
+}
+
+func errNotFound(format string, args ...any) *api.Error {
+	return &api.Error{
+		Code:       api.CodeNotFound,
+		Message:    fmt.Sprintf(format, args...),
+		HTTPStatus: http.StatusNotFound,
+	}
+}
+
+func errCancelled(msg string) *api.Error {
+	return &api.Error{
+		Code:       api.CodeCancelled,
+		Message:    msg,
+		HTTPStatus: http.StatusRequestTimeout,
+	}
+}
+
+func errNotReady(msg string) *api.Error {
+	return &api.Error{
+		Code:       api.CodeNotReady,
+		Message:    msg,
+		HTTPStatus: http.StatusConflict,
+	}
+}
+
+func errInfeasible(msg string) *api.Error {
+	return &api.Error{
+		Code:       api.CodeInfeasible,
+		Message:    msg,
+		HTTPStatus: http.StatusUnprocessableEntity,
+	}
+}
+
+// errOverCapacity is the 429 backpressure envelope; retryAfterS becomes
+// both the JSON hint and the Retry-After header.
+func errOverCapacity(retryAfterS int, format string, args ...any) *api.Error {
+	if retryAfterS < 1 {
+		retryAfterS = 1
+	}
+	return &api.Error{
+		Code:        api.CodeOverCapacity,
+		Message:     fmt.Sprintf(format, args...),
+		RetryAfterS: retryAfterS,
+		HTTPStatus:  http.StatusTooManyRequests,
+	}
+}
+
+func errInternal(format string, args ...any) *api.Error {
+	return &api.Error{
+		Code:       api.CodeInternal,
+		Message:    fmt.Sprintf(format, args...),
+		HTTPStatus: http.StatusInternalServerError,
+	}
+}
+
+func errDeadline(msg string) *api.Error {
+	return &api.Error{
+		Code:       api.CodeDeadline,
+		Message:    msg,
+		HTTPStatus: http.StatusGatewayTimeout,
+	}
+}
+
+// errStatus defaults an envelope's HTTP status when a constructor
+// outside this file (or a decoded body) left it unset.
+func errStatus(e *api.Error) int {
+	if e.HTTPStatus != 0 {
+		return e.HTTPStatus
+	}
+	return http.StatusInternalServerError
+}
+
+// errorBytes marshals an envelope the way every response body is
+// marshaled (compact JSON + newline), for paths that cache or assemble
+// error bodies instead of writing them straight to a ResponseWriter.
+func errorBytes(e *api.Error) []byte {
+	return marshalBody(api.ErrorBody{Error: e})
+}
+
+// writeError writes the unified error envelope, including the
+// Retry-After header when the envelope carries a hint.
+func writeError(w http.ResponseWriter, e *api.Error) {
+	if e.RetryAfterS > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfterS))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(errStatus(e))
+	_, _ = w.Write(errorBytes(e))
+}

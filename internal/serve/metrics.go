@@ -5,7 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/workloads"
+	"repro/api"
 )
 
 // simSecondsBuckets are the upper bounds of the sim-wall-time histogram
@@ -13,7 +13,7 @@ import (
 var simSecondsBuckets = [...]float64{0.001, 0.01, 0.1, 1, 10}
 
 // histogram is a fixed-bucket duration histogram (no new deps: the
-// snapshot marshals as plain JSON).
+// snapshot marshals as plain JSON via api.HistogramSnapshot).
 type histogram struct {
 	mu      sync.Mutex
 	counts  [len(simSecondsBuckets) + 1]int64
@@ -35,42 +35,27 @@ func (h *histogram) observe(seconds float64) {
 	h.counts[len(simSecondsBuckets)]++
 }
 
-// HistogramBucket is one bucket of the sim-seconds histogram; LE is the
-// inclusive upper bound in seconds ("+Inf" is encoded as 0 on the last
-// bucket's Infinite flag to stay valid JSON).
-type HistogramBucket struct {
-	LE       float64 `json:"le,omitempty"`
-	Infinite bool    `json:"infinite,omitempty"`
-	Count    int64   `json:"count"`
-}
-
-// HistogramSnapshot is the JSON form of the sim-seconds histogram.
-type HistogramSnapshot struct {
-	Count   int64             `json:"count"`
-	SumSecs float64           `json:"sum_seconds"`
-	Buckets []HistogramBucket `json:"buckets"`
-}
-
-func (h *histogram) snapshot() HistogramSnapshot {
+func (h *histogram) snapshot() api.HistogramSnapshot {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	s := HistogramSnapshot{Count: h.samples, SumSecs: h.sum}
+	s := api.HistogramSnapshot{Count: h.samples, SumSecs: h.sum}
 	for i, le := range simSecondsBuckets {
-		s.Buckets = append(s.Buckets, HistogramBucket{LE: le, Count: h.counts[i]})
+		s.Buckets = append(s.Buckets, api.HistogramBucket{LE: le, Count: h.counts[i]})
 	}
-	s.Buckets = append(s.Buckets, HistogramBucket{Infinite: true, Count: h.counts[len(simSecondsBuckets)]})
+	s.Buckets = append(s.Buckets, api.HistogramBucket{Infinite: true, Count: h.counts[len(simSecondsBuckets)]})
 	return s
 }
 
 // metrics aggregates the service's counters. All fields are updated
 // with atomics; the snapshot is approximate under concurrency, like
-// every metrics read.
+// every metrics read. The JSON schema is api.Snapshot.
 type metrics struct {
 	start time.Time
 
 	runRequests        atomic.Int64
 	batchRequests      atomic.Int64
 	experimentRequests atomic.Int64
+	jobRequests        atomic.Int64
 	rejected           atomic.Int64
 	clientErrors       atomic.Int64
 	serverErrors       atomic.Int64
@@ -79,43 +64,4 @@ type metrics struct {
 	simRuns            atomic.Int64
 
 	simSeconds histogram
-}
-
-// Snapshot is the GET /metrics response schema.
-type Snapshot struct {
-	UptimeSeconds float64 `json:"uptime_seconds"`
-
-	// Request counts by endpoint, plus outcome counters. Rejected is
-	// the 429 backpressure count; Timeouts the 504 deadline count.
-	RunRequests        int64 `json:"run_requests"`
-	BatchRequests      int64 `json:"batch_requests"`
-	ExperimentRequests int64 `json:"experiment_requests"`
-	Rejected           int64 `json:"rejected"`
-	ClientErrors       int64 `json:"client_errors"`
-	ServerErrors       int64 `json:"server_errors"`
-	Timeouts           int64 `json:"timeouts"`
-
-	// Result-cache effectiveness. Coalesced counts requests that waited
-	// on an identical in-flight computation instead of simulating.
-	CacheHits     int64   `json:"cache_hits"`
-	CacheMisses   int64   `json:"cache_misses"`
-	CacheHitRatio float64 `json:"cache_hit_ratio"`
-	CacheEntries  int     `json:"cache_entries"`
-	CacheBytes    int64   `json:"cache_bytes"`
-	Coalesced     int64   `json:"coalesced"`
-
-	// Admission state: queue depth and in-flight holders of the gate.
-	QueueDepth int `json:"queue_depth"`
-	InFlight   int `json:"in_flight"`
-	Workers    int `json:"workers"`
-
-	// SimRuns counts simulations actually executed (misses that ran);
-	// SimSeconds is their wall-time histogram.
-	SimRuns    int64             `json:"sim_runs"`
-	SimSeconds HistogramSnapshot `json:"sim_seconds"`
-
-	// TraceCache is the process-wide trace cache underneath the result
-	// cache (see internal/workloads).
-	TraceCache         workloads.TraceCacheStats `json:"trace_cache"`
-	TraceCacheHitRatio float64                   `json:"trace_cache_hit_ratio"`
 }

@@ -1,48 +1,69 @@
 // Package serve is the simulation service: a long-running HTTP/JSON
 // front end that turns the one-shot CLI workflow (smsim, paper, sweep)
-// into a shared, amortized process — the repository's first
-// inference-serving-shaped component: batching, caching, backpressure,
-// and determinism under concurrency.
+// into a shared, amortized process — the repository's
+// inference-serving-shaped component: batching, caching, durable async
+// jobs, backpressure, and determinism under concurrency.
 //
-// Endpoints (all request and response bodies are JSON):
+// The public surface — every request/response DTO, the error envelope,
+// and a thin client — lives in the api package; this package is the
+// implementation. Endpoints (all bodies JSON):
 //
-//	POST /v1/run         one kernel simulation        -> RunResponse
-//	POST /v1/batch       many simulations, fanned out -> BatchResponse
-//	POST /v1/experiment  a named paper experiment     -> ExperimentResponse
-//	GET  /v1/kernels     the benchmark registry       -> []KernelInfo
-//	GET  /healthz        liveness                     -> {"status":"ok"}
-//	GET  /metrics        counters, cache ratios, queue depth, sim-time
-//	                     histogram                    -> Snapshot
+//	POST   /v1/run              one kernel simulation       -> api.RunResponse
+//	POST   /v1/batch            many simulations, fanned out-> api.BatchResponse
+//	POST   /v1/experiment       a named paper experiment    -> api.ExperimentResponse
+//	POST   /v1/jobs             submit an async job (202)   -> api.Job
+//	GET    /v1/jobs             list jobs                   -> []api.Job
+//	GET    /v1/jobs/{id}        poll status and progress    -> api.Job
+//	GET    /v1/jobs/{id}/events live progress stream           (SSE)
+//	GET    /v1/jobs/{id}/result final result bytes
+//	DELETE /v1/jobs/{id}        cancel                      -> api.Job
+//	GET    /v1/kernels          the benchmark registry      -> []api.KernelInfo
+//	GET    /healthz             liveness
+//	GET    /metrics             counters and histograms     -> api.Snapshot
 //
-// Three properties define the service:
+// Four properties define the service:
 //
 //   - Canonical result caching. Every run request is canonicalized —
 //     machine JSON resolved and re-rendered with defaults filled and
 //     aliases collapsed (machine.Describe), kernel and register budget
 //     clamped the way the simulator clamps them — and hashed into a
-//     deterministic key. Completed response bodies are memoized in a
-//     bounded LRU keyed by that hash, layered over the process-wide
+//     deterministic SHA-256 key. Completed response bodies are memoized
+//     in a bounded LRU keyed by that hash, layered over the process-wide
 //     trace cache (internal/workloads), so a repeated request is served
-//     from memory with a byte-identical body (the X-Cache header says
-//     hit or miss). Identical requests in flight at the same time are
-//     coalesced: one simulates, the rest wait for its bytes.
+//     from memory with a byte-identical body. Identical requests in
+//     flight at the same time are coalesced: one simulates, the rest
+//     wait for its bytes. The X-Cache header says which path answered:
+//     hit, stored, coalesced, or miss.
 //
-//   - Bounded admission. A parallel.Gate bounds how many requests
-//     simulate concurrently, with a bounded wait queue behind the
-//     slots; beyond that the service answers 429 with a Retry-After
-//     hint instead of queueing without bound. Batch items fan out
-//     through parallel.Map under the process worker budget
-//     (parallel.SetWorkers), which keeps batch responses byte-identical
-//     for every worker count. Per-request deadlines flow through
-//     core.RunCtx into the simulator's cycle loop; an exceeded deadline
-//     answers 504.
+//   - Durable results. With Options.DataDir set, the same canonical key
+//     addresses a persistent content-addressed store (internal/store)
+//     underneath the LRU: completed bodies are written once, replayed
+//     across restarts, and shared by the sync endpoints and the job
+//     engine alike. This is what makes jobs resumable — a restarted
+//     server re-enters persisted jobs (internal/jobs) and their already
+//     completed items are answered from the store instead of
+//     re-simulated.
 //
-//   - Deterministic bodies. The simulator is deterministic, responses
-//     are marshaled once and replayed from cache as raw bytes, and
+//   - Bounded admission. A parallel.Gate bounds how many synchronous
+//     requests simulate concurrently, with a bounded wait queue behind
+//     the slots; beyond that the service answers 429 with a Retry-After
+//     header and a retry_after_s hint in the envelope instead of
+//     queueing without bound. Async jobs run under their own gate
+//     (Options.JobSlots) so a long sweep job cannot starve interactive
+//     requests of queue slots. Batch and job items fan out through
+//     parallel.Map under the process worker budget (parallel.SetWorkers),
+//     which keeps assembled bodies byte-identical for every worker
+//     count. Per-request deadlines flow through core.RunCtx into the
+//     simulator's cycle loop; an exceeded deadline answers 504.
+//
+//   - Deterministic bodies and errors. The simulator is deterministic,
+//     responses are marshaled once and replayed as raw bytes, and
 //     nothing time- or order-dependent is ever written into a response
 //     body (timing lives in headers and /metrics), so identical
-//     requests always produce identical bytes — the property the
-//     httptest suite pins with j=1 versus j=8 workers.
+//     requests always produce identical bytes — including a job's
+//     final result versus the equivalent synchronous call. Every
+//     non-2xx response is the one envelope shape api.ErrorBody with a
+//     stable machine-readable code.
 //
 // cmd/smserve wires this package to flags, an *http.Server, and
 // SIGTERM-graceful draining.
@@ -56,30 +77,34 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
-	"strconv"
+	"path/filepath"
 	"sync"
 	"time"
 
+	"repro/api"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/harness"
+	"repro/internal/jobs"
 	"repro/internal/machine"
 	"repro/internal/parallel"
 	"repro/internal/probe"
 	"repro/internal/sched"
 	"repro/internal/sm"
-	"repro/internal/stats"
+	"repro/internal/store"
 	"repro/internal/workloads"
 )
 
 // Options configures a Server. The zero value selects the defaults
 // noted on each field.
 type Options struct {
-	// InFlight bounds concurrently simulating requests (gate slots);
-	// default 2. Total simulation goroutines are bounded by InFlight
-	// times the parallel.SetWorkers budget batch items fan out under.
+	// InFlight bounds concurrently simulating synchronous requests (gate
+	// slots); default 2. Total simulation goroutines are bounded by
+	// InFlight times the parallel.SetWorkers budget batch items fan out
+	// under.
 	InFlight int
 	// Queue bounds requests waiting behind the slots; beyond it the
 	// service answers 429. 0 takes the default of 64; negative means no
@@ -90,6 +115,20 @@ type Options struct {
 	// DefaultTimeout is the per-request simulation deadline when the
 	// request does not set timeout_ms. Default 60s.
 	DefaultTimeout time.Duration
+	// DataDir enables persistence: completed result bodies under
+	// <DataDir>/results (content-addressed by canonical key) and job
+	// records under <DataDir>/jobs. Empty runs fully in-memory — jobs
+	// still work but die with the process.
+	DataDir string
+	// JobSlots bounds concurrently executing async jobs (default 2);
+	// JobQueue bounds jobs waiting behind them (default 1024). Jobs
+	// admit through their own gate, not the synchronous one.
+	JobSlots int
+	JobQueue int
+
+	// execWrap, when set, wraps the job engine's item executor — a test
+	// hook (package-internal) for deterministic kill/restart tests.
+	execWrap func(jobs.Exec) jobs.Exec
 }
 
 func (o Options) withDefaults() Options {
@@ -111,12 +150,15 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Server is the simulation service. Create one with New and mount
-// Handler on an *http.Server; Server is safe for concurrent use.
+// Server is the simulation service. Create one with New, mount Handler
+// on an *http.Server, and Close it on shutdown; Server is safe for
+// concurrent use.
 type Server struct {
 	opts    Options
 	gate    *parallel.Gate
 	cache   *resultCache
+	store   *store.Store // nil without DataDir
+	engine  *jobs.Engine
 	metrics metrics
 
 	// runners memoizes one core.Runner per distinct (timing, energy)
@@ -144,8 +186,10 @@ type flightCall struct {
 	body   []byte
 }
 
-// New returns a Server with the given options.
-func New(opts Options) *Server {
+// New returns a Server with the given options. With Options.DataDir it
+// opens (creating if needed) the persistent result store and job
+// directory, and resumes any persisted unfinished jobs.
+func New(opts Options) (*Server, error) {
 	s := &Server{
 		opts:    opts.withDefaults(),
 		runners: make(map[string]*core.Runner),
@@ -154,6 +198,32 @@ func New(opts Options) *Server {
 	s.gate = parallel.NewGate(s.opts.InFlight, s.opts.Queue)
 	s.cache = newResultCache(s.opts.CacheEntries)
 	s.metrics.start = time.Now()
+
+	jobDir := ""
+	if s.opts.DataDir != "" {
+		st, err := store.Open(filepath.Join(s.opts.DataDir, "results"))
+		if err != nil {
+			return nil, fmt.Errorf("serve: opening result store: %w", err)
+		}
+		s.store = st
+		jobDir = filepath.Join(s.opts.DataDir, "jobs")
+	}
+	exec := s.jobExec
+	if s.opts.execWrap != nil {
+		exec = s.opts.execWrap(exec)
+	}
+	engine, err := jobs.New(jobs.Options{
+		Dir:     jobDir,
+		Slots:   s.opts.JobSlots,
+		Queue:   s.opts.JobQueue,
+		Resolve: s.jobResolve,
+		Exec:    exec,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: starting job engine: %w", err)
+	}
+	s.engine = engine
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -161,177 +231,28 @@ func New(opts Options) *Server {
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/experiment", s.handleExperiment)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	s.mux = mux
-	return s
+	return s, nil
 }
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// RunRequest describes one kernel simulation. Exactly the smsim surface:
-// a registry kernel, a machine description (zero-valued fields take the
-// paper's defaults), and optional overrides.
-type RunRequest struct {
-	// Kernel is the benchmark name (GET /v1/kernels lists them).
-	Kernel string `json:"kernel"`
-	// BF selects a needle blocking-factor variant; 0 is the kernel's
-	// default. Ignored by kernels without a blocking factor.
-	BF int `json:"bf,omitempty"`
-	// Machine is the machine description, as in a -machine JSON file.
-	Machine machine.Description `json:"machine,omitempty"`
-	// AllocTotalKB, when positive, replaces the machine's design and
-	// capacities with the §4.5 automatic allocation of a unified memory
-	// of this many KB (the machine's max_threads caps residency).
-	AllocTotalKB int `json:"alloc_total_kb,omitempty"`
-	// RegsPerThread overrides the per-thread register allocation; 0 (or
-	// anything at or above the kernel's demand) is the spill-free value.
-	RegsPerThread int `json:"regs_per_thread,omitempty"`
-	// Seed perturbs per-warp random streams; 0 means the default seed.
-	Seed uint64 `json:"seed,omitempty"`
-	// Probe attaches the cycle-level observability probe and returns
-	// its byte-deterministic NDJSON profile in the response.
-	Probe bool `json:"probe,omitempty"`
-	// ProbeIntervalCycles is the probe sampling interval (0 = default).
-	ProbeIntervalCycles int64 `json:"probe_interval_cycles,omitempty"`
-	// TimeoutMS bounds the simulation's wall time (0 = server default).
-	// Not part of the cache key: it bounds work, never results.
-	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+// Close stops the job engine. Running jobs are abandoned exactly as a
+// kill would abandon them — their persisted records stay unfinished and
+// the next New on the same DataDir resumes them; completed items are
+// not lost (they live in the result store).
+func (s *Server) Close() {
+	s.engine.Close()
 }
 
-// ConfigInfo is the resolved local-memory configuration of a response.
-type ConfigInfo struct {
-	Design      string `json:"design"`
-	RFBytes     int    `json:"rf_bytes"`
-	SharedBytes int    `json:"shared_bytes"`
-	CacheBytes  int    `json:"cache_bytes"`
-	MaxThreads  int    `json:"max_threads"`
-}
-
-// OccupancyInfo is the residency a configuration admitted.
-type OccupancyInfo struct {
-	CTAs    int    `json:"ctas"`
-	Threads int    `json:"threads"`
-	Warps   int    `json:"warps"`
-	Limiter string `json:"limiter"`
-}
-
-// EnergyInfo is the Section 5.2 energy breakdown in joules.
-type EnergyInfo struct {
-	MRF    float64 `json:"mrf"`
-	ORF    float64 `json:"orf"`
-	LRF    float64 `json:"lrf"`
-	Shared float64 `json:"shared"`
-	Cache  float64 `json:"cache"`
-	Tags   float64 `json:"tags"`
-	Other  float64 `json:"other"`
-	Leak   float64 `json:"leak"`
-	DRAM   float64 `json:"dram"`
-	Total  float64 `json:"total"`
-}
-
-// RunResponse is the structured result of one simulation — the same
-// numbers cmd/smsim prints, as JSON. Bodies are deterministic: two
-// identical requests yield byte-identical responses whether simulated
-// or served from cache.
-type RunResponse struct {
-	// Key is the canonical cache key of the request.
-	Key string `json:"key"`
-	// Kernel and BF echo the resolved workload.
-	Kernel string `json:"kernel"`
-	BF     int    `json:"bf,omitempty"`
-	// Config is the resolved configuration the run executed under.
-	Config ConfigInfo `json:"config"`
-	// Occupancy is the admitted residency.
-	Occupancy OccupancyInfo `json:"occupancy"`
-	// Counters are the raw simulation event counts (stats.Counters).
-	Counters *stats.Counters `json:"counters"`
-	// IPC is thread instructions per cycle; WarpIPC the warp-granular
-	// variant. Both are absolute metrics (see internal/core's package
-	// comment on absolute versus ratio-only metrics).
-	IPC     float64 `json:"ipc"`
-	WarpIPC float64 `json:"warp_ipc"`
-	// Energy is the energy breakdown in joules.
-	Energy EnergyInfo `json:"energy"`
-	// ProbeNDJSON is the probe profile when the request asked for one.
-	ProbeNDJSON string `json:"probe_ndjson,omitempty"`
-	// WarmCycles reports that the run was forked from a shared warm
-	// prefix at this cycle (batch warm_cycles; see BatchRequest).
-	WarmCycles int64 `json:"warm_cycles,omitempty"`
-}
-
-// BatchRequest is a set of independent runs executed as one admitted
-// request, fanned out through the parallel engine.
-type BatchRequest struct {
-	Runs []RunRequest `json:"runs"`
-	// WarmCycles, when positive, switches the batch to warm-prefix
-	// sharing: items whose canonical requests agree on every
-	// prefix-defining field (kernel, configuration, registers, seed,
-	// scheduler policy and active-set size, scatter variant) share ONE
-	// simulation warmed to this cycle under the default divergable
-	// timing, copy-on-write forked per item (internal/snapshot). The
-	// semantics are "switch timing parameters at cycle WarmCycles", so
-	// results differ from cycle-0 runs and are cached under keys that
-	// include the warm cycle. Probed items always take the exact
-	// cycle-0 path (probes observe from the first cycle).
-	WarmCycles int64 `json:"warm_cycles,omitempty"`
-}
-
-// BatchItem is one batch entry's outcome: exactly one of Result or
-// Error is set. Items keep request order.
-type BatchItem struct {
-	Result *RunResponse `json:"result,omitempty"`
-	// Error is the item's failure (e.g. an infeasible configuration);
-	// Status is its HTTP-equivalent status code.
-	Error  string `json:"error,omitempty"`
-	Status int    `json:"status,omitempty"`
-}
-
-// BatchResponse is the ordered outcomes of a batch.
-type BatchResponse struct {
-	Results []json.RawMessage `json:"results"`
-}
-
-// ExperimentRequest names a paper experiment to regenerate (the
-// cmd/paper surface; GET /metrics does not list names — see
-// harness.Experiments or README).
-type ExperimentRequest struct {
-	// Name is the experiment ("table1" ... "figure11", "validation",
-	// "ablation").
-	Name string `json:"name"`
-	// Scheduler optionally re-renders under a non-default warp
-	// scheduler ("twolevel" or "gto").
-	Scheduler string `json:"scheduler,omitempty"`
-}
-
-// ExperimentResponse carries one experiment's rendered table in the
-// three formats the CLIs print.
-type ExperimentResponse struct {
-	Name      string `json:"name"`
-	Scheduler string `json:"scheduler"`
-	Text      string `json:"text"`
-	CSV       string `json:"csv"`
-	Markdown  string `json:"markdown"`
-}
-
-// KernelInfo is one registry benchmark.
-type KernelInfo struct {
-	Name              string `json:"name"`
-	Suite             string `json:"suite"`
-	Category          string `json:"category"`
-	Description       string `json:"description"`
-	RegsNeeded        int    `json:"regs_needed"`
-	ThreadsPerCTA     int    `json:"threads_per_cta"`
-	SharedBytesPerCTA int    `json:"shared_bytes_per_cta"`
-	GridCTAs          int    `json:"grid_ctas"`
-	BF                int    `json:"bf,omitempty"`
-}
-
-// errorBody is the JSON error envelope of every non-2xx response.
-type errorBody struct {
-	Error string `json:"error"`
-}
-
-// resolvedRun is a RunRequest after canonicalization: the concrete
+// resolvedRun is an api.RunRequest after canonicalization: the concrete
 // kernel, configuration, and parameters, plus the cache key they hash
 // to and the runner key the (timing, energy) half hashes to.
 type resolvedRun struct {
@@ -352,6 +273,10 @@ type resolvedRun struct {
 	// copy-on-write forks it under its own divergable timing.
 	warm       *warmEntry
 	warmCycles int64
+	// probeSink, when non-nil, receives probe NDJSON bytes live while
+	// the simulation runs (the job engine's probe event stream), in
+	// addition to the response body.
+	probeSink io.Writer
 }
 
 // warmEntry computes one prefix-defining group's warm prefix exactly
@@ -445,8 +370,8 @@ type canonicalRun struct {
 	ProbeIvl int64               `json:"probe_interval,omitempty"`
 }
 
-// resolve canonicalizes one request. Errors are client errors (400/404).
-func (s *Server) resolve(req RunRequest) (*resolvedRun, error) {
+// resolve canonicalizes one request. Errors are client errors (400).
+func (s *Server) resolve(req api.RunRequest) (*resolvedRun, error) {
 	if req.Kernel == "" {
 		return nil, fmt.Errorf("missing \"kernel\" (GET /v1/kernels lists the registry)")
 	}
@@ -552,7 +477,11 @@ func (s *Server) simulate(ctx context.Context, rr *resolvedRun) (int, []byte) {
 		started = time.Now()
 	)
 	if rr.probe {
-		opts = append(opts, core.WithProbe(probe.New(rr.probeIvl, &ndjson)))
+		sink := io.Writer(&ndjson)
+		if rr.probeSink != nil {
+			sink = io.MultiWriter(&ndjson, rr.probeSink)
+		}
+		opts = append(opts, core.WithProbe(probe.New(rr.probeIvl, sink)))
 	}
 	var res *core.Result
 	var err error
@@ -577,30 +506,30 @@ func (s *Server) simulate(ctx context.Context, rr *resolvedRun) (int, []byte) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		s.metrics.timeouts.Add(1)
-		return http.StatusGatewayTimeout, marshalBody(errorBody{Error: fmt.Sprintf(
-			"simulation exceeded its %v deadline (raise timeout_ms or the server -timeout)", rr.timeout)})
+		return http.StatusGatewayTimeout, errorBytes(errDeadline(fmt.Sprintf(
+			"simulation exceeded its %v deadline (raise timeout_ms or the server -timeout)", rr.timeout)))
 	case errors.Is(err, context.Canceled):
 		// The client went away; 499 in nginx's vocabulary, nothing
 		// useful to send. StatusRequestTimeout keeps it a client error.
-		return http.StatusRequestTimeout, marshalBody(errorBody{Error: "request cancelled"})
+		return http.StatusRequestTimeout, errorBytes(errCancelled("request cancelled"))
 	case core.IsInfeasible(err):
 		s.metrics.clientErrors.Add(1)
-		return http.StatusUnprocessableEntity, marshalBody(errorBody{Error: err.Error()})
+		return http.StatusUnprocessableEntity, errorBytes(errInfeasible(err.Error()))
 	case err != nil:
 		s.metrics.serverErrors.Add(1)
-		return http.StatusInternalServerError, marshalBody(errorBody{Error: err.Error()})
+		return http.StatusInternalServerError, errorBytes(errInternal("%s", err.Error()))
 	}
-	resp := RunResponse{
+	resp := api.RunResponse{
 		Key:    rr.key,
 		Kernel: rr.kernel.Name,
-		Config: ConfigInfo{
+		Config: api.ConfigInfo{
 			Design:      rr.cfg.Design.String(),
 			RFBytes:     rr.cfg.RFBytes,
 			SharedBytes: rr.cfg.SharedBytes,
 			CacheBytes:  rr.cfg.CacheBytes,
 			MaxThreads:  rr.cfg.MaxThreads,
 		},
-		Occupancy: OccupancyInfo{
+		Occupancy: api.OccupancyInfo{
 			CTAs:    res.Occupancy.CTAs,
 			Threads: res.Occupancy.Threads,
 			Warps:   res.Occupancy.Warps,
@@ -609,7 +538,7 @@ func (s *Server) simulate(ctx context.Context, rr *resolvedRun) (int, []byte) {
 		Counters: res.Counters,
 		IPC:      res.IPC(),
 		WarpIPC:  res.Counters.IPC(),
-		Energy: EnergyInfo{
+		Energy: api.EnergyInfo{
 			MRF: res.Energy.MRF, ORF: res.Energy.ORF, LRF: res.Energy.LRF,
 			Shared: res.Energy.Shared, Cache: res.Energy.Cache, Tags: res.Energy.Tags,
 			Other: res.Energy.Other, Leak: res.Energy.Leak, DRAM: res.Energy.DRAM,
@@ -624,11 +553,11 @@ func (s *Server) simulate(ctx context.Context, rr *resolvedRun) (int, []byte) {
 	return http.StatusOK, marshalBody(resp)
 }
 
-// compute runs the cache -> coalesce -> simulate pipeline for one
-// resolved run. It assumes admission (the gate) is already settled.
-// counted says the caller already recorded this lookup in the cache
-// stats (handleRun's pre-admission check), so the recheck stays quiet.
-// The cacheState return is "hit", "coalesced", or "miss".
+// compute runs the cache -> store -> coalesce -> simulate pipeline for
+// one resolved run. It assumes admission is already settled. counted
+// says the caller already recorded this lookup in the cache stats
+// (handleRun's pre-admission check), so the recheck stays quiet. The
+// cacheState return is "hit", "stored", "coalesced", or "miss".
 func (s *Server) compute(ctx context.Context, rr *resolvedRun, counted bool) (status int, body []byte, cacheState string) {
 	lookup := s.cache.get
 	if counted {
@@ -636,6 +565,15 @@ func (s *Server) compute(ctx context.Context, rr *resolvedRun, counted bool) (st
 	}
 	if body, ok := lookup(rr.key); ok {
 		return http.StatusOK, body, "hit"
+	}
+	// The persistent store sits under the LRU: a body completed by a
+	// previous process (or evicted from the LRU) replays byte-identically
+	// and re-enters the LRU. This is the job resume path.
+	if s.store != nil {
+		if body, ok := s.store.Get(rr.key); ok {
+			s.cache.put(rr.key, body)
+			return http.StatusOK, body, "stored"
+		}
 	}
 	s.flightMu.Lock()
 	if c, ok := s.flight[rr.key]; ok {
@@ -645,7 +583,7 @@ func (s *Server) compute(ctx context.Context, rr *resolvedRun, counted bool) (st
 			s.metrics.coalesced.Add(1)
 			return c.status, c.body, "coalesced"
 		case <-ctx.Done():
-			return http.StatusRequestTimeout, marshalBody(errorBody{Error: "request cancelled"}), "miss"
+			return http.StatusRequestTimeout, errorBytes(errCancelled("request cancelled")), "miss"
 		}
 	}
 	c := &flightCall{done: make(chan struct{})}
@@ -655,6 +593,9 @@ func (s *Server) compute(ctx context.Context, rr *resolvedRun, counted bool) (st
 	c.status, c.body = s.simulate(ctx, rr)
 	if c.status == http.StatusOK {
 		s.cache.put(rr.key, c.body)
+		if s.store != nil {
+			_ = s.store.Put(rr.key, c.body)
+		}
 	}
 	s.flightMu.Lock()
 	delete(s.flight, rr.key)
@@ -671,13 +612,12 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) func() {
 	switch {
 	case errors.Is(err, parallel.ErrQueueFull):
 		s.metrics.rejected.Add(1)
-		w.Header().Set("Retry-After", strconv.Itoa(1+s.gate.Waiting()))
-		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: fmt.Sprintf(
+		writeError(w, errOverCapacity(1+s.gate.Waiting(),
 			"admission queue full (%d in flight, %d waiting); retry later",
-			s.gate.InFlight(), s.gate.Waiting())})
+			s.gate.InFlight(), s.gate.Waiting()))
 		return nil
 	case err != nil:
-		writeJSON(w, http.StatusRequestTimeout, errorBody{Error: "request cancelled while queued"})
+		writeError(w, errCancelled("request cancelled while queued"))
 		return nil
 	}
 	return s.gate.Release
@@ -685,14 +625,14 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) func() {
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.metrics.runRequests.Add(1)
-	var req RunRequest
+	var req api.RunRequest
 	if !decodeStrict(w, r, &req, &s.metrics) {
 		return
 	}
 	rr, err := s.resolve(req)
 	if err != nil {
 		s.metrics.clientErrors.Add(1)
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		writeError(w, errBadRequest("%s", err.Error()))
 		return
 	}
 	// A cache hit skips admission entirely: replaying bytes is free.
@@ -709,30 +649,21 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	writeBody(w, status, body, state)
 }
 
-func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	s.metrics.batchRequests.Add(1)
-	var req BatchRequest
-	if !decodeStrict(w, r, &req, &s.metrics) {
-		return
-	}
+// resolveBatch canonicalizes a batch request's runs, wiring warm-prefix
+// groups. The returned envelope (nil on success) is the request's 400.
+func (s *Server) resolveBatch(req api.BatchRequest) ([]*resolvedRun, *api.Error) {
 	if len(req.Runs) == 0 {
-		s.metrics.clientErrors.Add(1)
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "empty batch: \"runs\" must list at least one run"})
-		return
+		return nil, errBadRequest("empty batch: \"runs\" must list at least one run")
 	}
 	if req.WarmCycles < 0 {
-		s.metrics.clientErrors.Add(1)
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "warm_cycles must be non-negative"})
-		return
+		return nil, errBadRequest("warm_cycles must be non-negative")
 	}
 	resolved := make([]*resolvedRun, len(req.Runs))
 	groups := make(map[string]*warmEntry)
 	for i, run := range req.Runs {
 		rr, err := s.resolve(run)
 		if err != nil {
-			s.metrics.clientErrors.Add(1)
-			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("runs[%d]: %v", i, err)})
-			return
+			return nil, errBadRequest("runs[%d]: %v", i, err)
 		}
 		// Warm-prefix sharing: group prefix-compatible unprobed items.
 		// Fork-at-K results differ from cycle-0 results, so the cache
@@ -747,9 +678,47 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}
 			rr.warm = e
 			rr.warmCycles = req.WarmCycles
-			rr.key = cacheKey([]byte(rr.key + "\x00warm\x00" + strconv.FormatInt(req.WarmCycles, 10)))
+			rr.key = cacheKey(fmt.Appendf(nil, "%s\x00warm\x00%d", rr.key, req.WarmCycles))
 		}
 		resolved[i] = rr
+	}
+	return resolved, nil
+}
+
+// batchItemBody marshals one batch entry from its settled (status,
+// body). Both the synchronous /v1/batch and the job engine's final
+// assembly funnel through here, which is what makes an async batch's
+// result bytes identical to the synchronous response.
+func batchItemBody(status int, body []byte) json.RawMessage {
+	if status == http.StatusOK {
+		return json.RawMessage(marshalBody(api.BatchItem{Result: rawResponse(body)}))
+	}
+	var env api.ErrorBody
+	_ = json.Unmarshal(body, &env)
+	return json.RawMessage(marshalBody(api.BatchItem{Error: env.Error, Status: status}))
+}
+
+// assembleBatch builds the final batch body from per-item outcomes, in
+// item order.
+func assembleBatch(statuses []int, bodies [][]byte) (int, []byte) {
+	items := make([]json.RawMessage, len(statuses))
+	for i := range statuses {
+		items[i] = batchItemBody(statuses[i], bodies[i])
+	}
+	return http.StatusOK, marshalBody(api.BatchResponse{Results: items})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.metrics.batchRequests.Add(1)
+	var req api.BatchRequest
+	if !decodeStrict(w, r, &req, &s.metrics) {
+		return
+	}
+	resolved, aerr := s.resolveBatch(req)
+	if aerr != nil {
+		s.metrics.clientErrors.Add(1)
+		writeError(w, aerr)
+		return
 	}
 	release := s.admit(w, r)
 	if release == nil {
@@ -769,39 +738,36 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			hits++
 		}
 		mu.Unlock()
-		if status == http.StatusOK {
-			return json.RawMessage(marshalBody(BatchItem{Result: rawResponse(body)})), nil
-		}
-		var e errorBody
-		_ = json.Unmarshal(body, &e)
-		return json.RawMessage(marshalBody(BatchItem{Error: e.Error, Status: status})), nil
+		return batchItemBody(status, body), nil
 	})
-	body := marshalBody(BatchResponse{Results: items})
+	body := marshalBody(api.BatchResponse{Results: items})
 	writeBody(w, http.StatusOK, body, fmt.Sprintf("hits=%d misses=%d", hits, misses))
 }
 
 // rawResponse re-decodes a cached body into a RunResponse pointer for
 // embedding in a batch item. The round trip is deterministic: the body
 // was produced by marshalBody and re-marshals to the same bytes.
-func rawResponse(body []byte) *RunResponse {
-	var resp RunResponse
+func rawResponse(body []byte) *api.RunResponse {
+	var resp api.RunResponse
 	if err := json.Unmarshal(body, &resp); err != nil {
 		return nil
 	}
 	return &resp
 }
 
-func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
-	s.metrics.experimentRequests.Add(1)
-	var req ExperimentRequest
-	if !decodeStrict(w, r, &req, &s.metrics) {
-		return
-	}
+// resolvedExperiment is an api.ExperimentRequest after validation, with
+// the hashed key its rendered tables cache and persist under.
+type resolvedExperiment struct {
+	name string
+	pol  sched.Policy
+	key  string
+}
+
+// resolveExperiment validates an experiment request.
+func (s *Server) resolveExperiment(req api.ExperimentRequest) (*resolvedExperiment, *api.Error) {
 	pol, err := sched.ParsePolicy(req.Scheduler)
 	if err != nil {
-		s.metrics.clientErrors.Add(1)
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
-		return
+		return nil, errBadRequest("%s", err.Error())
 	}
 	known := false
 	for _, name := range harness.Experiments {
@@ -811,13 +777,87 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if !known {
-		s.metrics.clientErrors.Add(1)
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf(
-			"unknown experiment %q (have %v)", req.Name, harness.Experiments)})
+		return nil, errBadRequest("unknown experiment %q (have %v)", req.Name, harness.Experiments)
+	}
+	return &resolvedExperiment{
+		name: req.Name,
+		pol:  pol,
+		key:  cacheKey(fmt.Appendf(nil, "experiment\x00%s\x00%s", req.Name, pol)),
+	}, nil
+}
+
+// computeExperiment runs the cache -> store -> coalesce -> render
+// pipeline for one experiment. Admission must already be settled.
+func (s *Server) computeExperiment(er *resolvedExperiment) (status int, body []byte, cacheState string) {
+	if body, ok := s.cache.get(er.key); ok {
+		return http.StatusOK, body, "hit"
+	}
+	if s.store != nil {
+		if body, ok := s.store.Get(er.key); ok {
+			s.cache.put(er.key, body)
+			return http.StatusOK, body, "stored"
+		}
+	}
+	s.flightMu.Lock()
+	if c, ok := s.flight[er.key]; ok {
+		s.flightMu.Unlock()
+		<-c.done
+		s.metrics.coalesced.Add(1)
+		return c.status, c.body, "coalesced"
+	}
+	c := &flightCall{done: make(chan struct{})}
+	s.flight[er.key] = c
+	s.flightMu.Unlock()
+
+	// Experiments reuse the run path's Runner memoization keyed by the
+	// default machine with the chosen scheduler.
+	d := machine.Default()
+	d.Timing.Scheduler = string(er.pol)
+	rr, rerr := s.resolve(api.RunRequest{Kernel: "needle", Machine: d})
+	if rerr != nil {
+		c.status, c.body = http.StatusInternalServerError, errorBytes(errInternal("%s", rerr.Error()))
+	} else {
+		started := time.Now()
+		t, err := harness.Run(s.runner(rr), er.name)
+		s.metrics.simSeconds.observe(time.Since(started).Seconds())
+		if err != nil {
+			s.metrics.serverErrors.Add(1)
+			c.status, c.body = http.StatusInternalServerError, errorBytes(errInternal("%s", err.Error()))
+		} else {
+			s.metrics.simRuns.Add(1)
+			c.status, c.body = http.StatusOK, marshalBody(api.ExperimentResponse{
+				Name:      er.name,
+				Scheduler: string(er.pol),
+				Text:      t.String(),
+				CSV:       t.CSV(),
+				Markdown:  t.Markdown(),
+			})
+			s.cache.put(er.key, c.body)
+			if s.store != nil {
+				_ = s.store.Put(er.key, c.body)
+			}
+		}
+	}
+	s.flightMu.Lock()
+	delete(s.flight, er.key)
+	s.flightMu.Unlock()
+	close(c.done)
+	return c.status, c.body, "miss"
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	s.metrics.experimentRequests.Add(1)
+	var req api.ExperimentRequest
+	if !decodeStrict(w, r, &req, &s.metrics) {
 		return
 	}
-	key := "experiment\x00" + req.Name + "\x00" + string(pol)
-	if body, ok := s.cache.get(key); ok {
+	er, aerr := s.resolveExperiment(req)
+	if aerr != nil {
+		s.metrics.clientErrors.Add(1)
+		writeError(w, aerr)
+		return
+	}
+	if body, ok := s.cache.get(er.key); ok {
 		writeBody(w, http.StatusOK, body, "hit")
 		return
 	}
@@ -826,55 +866,14 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	// Experiments reuse the run path's Runner memoization keyed by the
-	// default machine with the chosen scheduler.
-	d := machine.Default()
-	d.Timing.Scheduler = string(pol)
-	rr, err := s.resolve(RunRequest{Kernel: "needle", Machine: d})
-	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
-		return
-	}
-	rr.key = key
-	s.flightMu.Lock()
-	if c, ok := s.flight[key]; ok {
-		s.flightMu.Unlock()
-		<-c.done
-		s.metrics.coalesced.Add(1)
-		writeBody(w, c.status, c.body, "coalesced")
-		return
-	}
-	c := &flightCall{done: make(chan struct{})}
-	s.flight[key] = c
-	s.flightMu.Unlock()
-	started := time.Now()
-	t, err := harness.Run(s.runner(rr), req.Name)
-	s.metrics.simSeconds.observe(time.Since(started).Seconds())
-	if err != nil {
-		s.metrics.serverErrors.Add(1)
-		c.status, c.body = http.StatusInternalServerError, marshalBody(errorBody{Error: err.Error()})
-	} else {
-		s.metrics.simRuns.Add(1)
-		c.status, c.body = http.StatusOK, marshalBody(ExperimentResponse{
-			Name:      req.Name,
-			Scheduler: string(pol),
-			Text:      t.String(),
-			CSV:       t.CSV(),
-			Markdown:  t.Markdown(),
-		})
-		s.cache.put(key, c.body)
-	}
-	s.flightMu.Lock()
-	delete(s.flight, key)
-	s.flightMu.Unlock()
-	close(c.done)
-	writeBody(w, c.status, c.body, "miss")
+	status, body, state := s.computeExperiment(er)
+	writeBody(w, status, body, state)
 }
 
 func (s *Server) handleKernels(w http.ResponseWriter, _ *http.Request) {
-	var out []KernelInfo
+	var out []api.KernelInfo
 	for _, k := range workloads.All() {
-		out = append(out, KernelInfo{
+		out = append(out, api.KernelInfo{
 			Name:              k.Name,
 			Suite:             k.Suite,
 			Category:          k.Category.String(),
@@ -895,11 +894,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	hits, misses, entries, bytes := s.cache.stats()
-	snap := Snapshot{
+	snap := api.Snapshot{
 		UptimeSeconds:      time.Since(s.metrics.start).Seconds(),
 		RunRequests:        s.metrics.runRequests.Load(),
 		BatchRequests:      s.metrics.batchRequests.Load(),
 		ExperimentRequests: s.metrics.experimentRequests.Load(),
+		JobRequests:        s.metrics.jobRequests.Load(),
 		Rejected:           s.metrics.rejected.Load(),
 		ClientErrors:       s.metrics.clientErrors.Load(),
 		ServerErrors:       s.metrics.serverErrors.Load(),
@@ -909,12 +909,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		CacheEntries:       entries,
 		CacheBytes:         bytes,
 		Coalesced:          s.metrics.coalesced.Load(),
+		Jobs:               s.engine.Stats(),
 		QueueDepth:         s.gate.Waiting(),
 		InFlight:           s.gate.InFlight(),
 		Workers:            s.gate.Capacity(),
 		SimRuns:            s.metrics.simRuns.Load(),
 		SimSeconds:         s.metrics.simSeconds.snapshot(),
 		TraceCache:         workloads.TraceCacheSnapshot(),
+	}
+	if s.store != nil {
+		snap.Store = s.store.Stats()
 	}
 	if total := hits + misses; total > 0 {
 		snap.CacheHitRatio = float64(hits) / float64(total)
@@ -931,7 +935,7 @@ func decodeStrict(w http.ResponseWriter, r *http.Request, v any, m *metrics) boo
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		m.clientErrors.Add(1)
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		writeError(w, errBadRequest("bad request body: %v", err))
 		return false
 	}
 	return true
@@ -943,7 +947,10 @@ func decodeStrict(w http.ResponseWriter, r *http.Request, v any, m *metrics) boo
 func marshalBody(v any) []byte {
 	b, err := json.Marshal(v)
 	if err != nil {
-		b, _ = json.Marshal(errorBody{Error: "internal: marshal: " + err.Error()})
+		b, _ = json.Marshal(api.ErrorBody{Error: &api.Error{
+			Code:    api.CodeInternal,
+			Message: "internal: marshal: " + err.Error(),
+		}})
 	}
 	return append(b, '\n')
 }
@@ -963,7 +970,8 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_, _ = w.Write(marshalBody(v))
 }
 
-// cacheKey hashes canonical request bytes into the LRU key.
+// cacheKey hashes canonical request bytes into the result key shared by
+// the LRU and the persistent store.
 func cacheKey(canonical []byte) string {
 	sum := sha256.Sum256(canonical)
 	return hex.EncodeToString(sum[:])

@@ -11,13 +11,18 @@ import (
 	"testing"
 	"time"
 
+	"repro/api"
 	"repro/internal/parallel"
 )
 
 func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(opts)
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(s.Close)
 	t.Cleanup(ts.Close)
 	return s, ts
 }
@@ -41,13 +46,13 @@ func do(t *testing.T, ts *httptest.Server, method, path, body string) (*http.Res
 	return resp, b
 }
 
-func snapshot(t *testing.T, ts *httptest.Server) Snapshot {
+func snapshot(t *testing.T, ts *httptest.Server) api.Snapshot {
 	t.Helper()
 	resp, body := do(t, ts, http.MethodGet, "/metrics", "")
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("GET /metrics: %d", resp.StatusCode)
 	}
-	var s Snapshot
+	var s api.Snapshot
 	if err := json.Unmarshal(body, &s); err != nil {
 		t.Fatalf("metrics decode: %v", err)
 	}
@@ -71,7 +76,7 @@ func TestKernelsEndpoint(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d", resp.StatusCode)
 	}
-	var ks []KernelInfo
+	var ks []api.KernelInfo
 	if err := json.Unmarshal(body, &ks); err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +132,7 @@ func TestRunCacheHit(t *testing.T) {
 		t.Errorf("cache_hits = %d, want %d", m2.CacheHits, m1.CacheHits+1)
 	}
 
-	var rr RunResponse
+	var rr api.RunResponse
 	if err := json.Unmarshal(body1, &rr); err != nil {
 		t.Fatal(err)
 	}
@@ -194,21 +199,21 @@ func TestBatchDeterminismAcrossWorkers(t *testing.T) {
 	if !bytes.Equal(bodies[0], bodies[1]) {
 		t.Error("batch bodies differ between j=1 and j=8")
 	}
-	var br BatchResponse
+	var br api.BatchResponse
 	if err := json.Unmarshal(bodies[0], &br); err != nil {
 		t.Fatal(err)
 	}
 	if len(br.Results) != 5 {
 		t.Fatalf("items = %d, want 5", len(br.Results))
 	}
-	var infeasible BatchItem
+	var infeasible api.BatchItem
 	if err := json.Unmarshal(br.Results[3], &infeasible); err != nil {
 		t.Fatal(err)
 	}
-	if infeasible.Error == "" || infeasible.Status != http.StatusUnprocessableEntity {
-		t.Errorf("infeasible item = %+v, want a 422 error entry", infeasible)
+	if infeasible.Error == nil || infeasible.Error.Code != api.CodeInfeasible || infeasible.Status != http.StatusUnprocessableEntity {
+		t.Errorf("infeasible item = %+v, want a 422 infeasible error entry", infeasible)
 	}
-	var dup BatchItem
+	var dup api.BatchItem
 	if err := json.Unmarshal(br.Results[2], &dup); err != nil {
 		t.Fatal(err)
 	}
@@ -217,23 +222,42 @@ func TestBatchDeterminismAcrossWorkers(t *testing.T) {
 	}
 }
 
-// TestBackpressure asserts the saturation contract: with the gate full
-// and no queue, a new request is answered 429 with a Retry-After hint,
-// and succeeds once capacity frees up.
+// TestBackpressure asserts the saturation contract on every gated
+// endpoint: with the gate full and no queue, a new request is answered
+// 429 carrying BOTH the Retry-After header and the over_capacity error
+// envelope with retry_after_s, and succeeds once capacity frees up.
 func TestBackpressure(t *testing.T) {
 	s, ts := newTestServer(t, Options{InFlight: 1, Queue: -1})
 	if err := s.gate.Acquire(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	resp, body := do(t, ts, http.MethodPost, "/v1/run", `{"kernel":"sto"}`)
-	if resp.StatusCode != http.StatusTooManyRequests {
-		t.Fatalf("saturated status = %d, want 429 (body %s)", resp.StatusCode, body)
+	saturated := []struct {
+		path, body string
+	}{
+		{"/v1/run", `{"kernel":"sto"}`},
+		{"/v1/batch", `{"runs":[{"kernel":"sto"}]}`},
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Error("429 without Retry-After")
+	for _, c := range saturated {
+		resp, body := do(t, ts, http.MethodPost, c.path, c.body)
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("%s saturated status = %d, want 429 (body %s)", c.path, resp.StatusCode, body)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Errorf("%s: 429 without Retry-After", c.path)
+		}
+		var env api.ErrorBody
+		if err := json.Unmarshal(body, &env); err != nil || env.Error == nil {
+			t.Fatalf("%s: 429 body %s is not an error envelope", c.path, body)
+		}
+		if env.Error.Code != api.CodeOverCapacity {
+			t.Errorf("%s: 429 code = %q, want %q", c.path, env.Error.Code, api.CodeOverCapacity)
+		}
+		if env.Error.RetryAfterS < 1 {
+			t.Errorf("%s: 429 retry_after_s = %d, want >= 1", c.path, env.Error.RetryAfterS)
+		}
 	}
-	if m := snapshot(t, ts); m.Rejected != 1 {
-		t.Errorf("rejected = %d, want 1", m.Rejected)
+	if m := snapshot(t, ts); m.Rejected != int64(len(saturated)) {
+		t.Errorf("rejected = %d, want %d", m.Rejected, len(saturated))
 	}
 	s.gate.Release()
 	resp2, body2 := do(t, ts, http.MethodPost, "/v1/run", `{"kernel":"sto"}`)
@@ -245,8 +269,12 @@ func TestBackpressure(t *testing.T) {
 // TestSimulateDeadline pins the 504 path deterministically: an already
 // expired deadline aborts the cycle loop at its first context check.
 func TestSimulateDeadline(t *testing.T) {
-	s := New(Options{})
-	rr, err := s.resolve(RunRequest{Kernel: "needle"})
+	s, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rr, err := s.resolve(api.RunRequest{Kernel: "needle"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,7 +300,7 @@ func TestExperimentEndpoint(t *testing.T) {
 	if got := resp1.Header.Get("X-Cache"); got != "miss" {
 		t.Errorf("first X-Cache = %q, want miss", got)
 	}
-	var er ExperimentResponse
+	var er api.ExperimentResponse
 	if err := json.Unmarshal(body1, &er); err != nil {
 		t.Fatal(err)
 	}
@@ -335,11 +363,12 @@ func TestInfeasibleRun(t *testing.T) {
 	if resp.StatusCode != http.StatusUnprocessableEntity {
 		t.Fatalf("status = %d, want 422 (body %s)", resp.StatusCode, body)
 	}
-	var e struct {
-		Error string `json:"error"`
+	var env api.ErrorBody
+	if err := json.Unmarshal(body, &env); err != nil || env.Error == nil {
+		t.Fatalf("want the error envelope, got %s", body)
 	}
-	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
-		t.Errorf("want a JSON error body, got %s", body)
+	if env.Error.Code != api.CodeInfeasible {
+		t.Errorf("code = %q, want %q", env.Error.Code, api.CodeInfeasible)
 	}
 }
 
@@ -351,7 +380,7 @@ func TestProbeRun(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("probed run: %d: %s", resp.StatusCode, body)
 	}
-	var rr RunResponse
+	var rr api.RunResponse
 	if err := json.Unmarshal(body, &rr); err != nil {
 		t.Fatal(err)
 	}

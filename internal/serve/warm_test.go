@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"testing"
+
+	"repro/api"
 )
 
 // warmBatchBody is a batch of DRAM-latency variants of one kernel: the
@@ -16,13 +18,13 @@ const warmBatchBody = `{"warm_cycles":2000,"runs":[
 	{"kernel":"bfs","machine":{"timing":{"dram_latency":500}}}]}`
 
 // decodeBatch unpacks a BatchResponse's items.
-func decodeBatch(t *testing.T, body []byte) []BatchItem {
+func decodeBatch(t *testing.T, body []byte) []api.BatchItem {
 	t.Helper()
-	var br BatchResponse
+	var br api.BatchResponse
 	if err := json.Unmarshal(body, &br); err != nil {
 		t.Fatalf("batch decode: %v\n%s", err, body)
 	}
-	items := make([]BatchItem, len(br.Results))
+	items := make([]api.BatchItem, len(br.Results))
 	for i, raw := range br.Results {
 		if err := json.Unmarshal(raw, &items[i]); err != nil {
 			t.Fatalf("item %d decode: %v", i, err)
@@ -44,7 +46,7 @@ func TestBatchWarmSharing(t *testing.T) {
 	items := decodeBatch(t, first)
 	keys := map[string]bool{}
 	for i, it := range items {
-		if it.Error != "" {
+		if it.Error != nil {
 			t.Fatalf("item %d failed: %s", i, it.Error)
 		}
 		if it.Result.WarmCycles != 2000 {
@@ -70,7 +72,7 @@ func TestBatchWarmSharing(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("run status = %d", resp.StatusCode)
 	}
-	var plain RunResponse
+	var plain api.RunResponse
 	if err := json.Unmarshal(runBody, &plain); err != nil {
 		t.Fatal(err)
 	}
@@ -110,13 +112,13 @@ func TestBatchWarmProbeBypass(t *testing.T) {
 		t.Fatalf("batch status = %d", resp.StatusCode)
 	}
 	items := decodeBatch(t, batchBody)
-	if items[0].Error != "" {
+	if items[0].Error != nil {
 		t.Fatalf("probed item failed: %s", items[0].Error)
 	}
 	if items[0].Result.WarmCycles != 0 {
 		t.Errorf("probed item reports warm_cycles %d, want exact path", items[0].Result.WarmCycles)
 	}
-	var plain RunResponse
+	var plain api.RunResponse
 	if err := json.Unmarshal(runBody, &plain); err != nil {
 		t.Fatal(err)
 	}
