@@ -49,6 +49,11 @@ type RunRequest struct {
 	// capacities with the §4.5 automatic allocation of a unified memory
 	// of this many KB (the machine's max_threads caps residency).
 	AllocTotalKB int `json:"alloc_total_kb,omitempty"`
+	// FermiTotalKB, when positive, replaces them with the Fermi-like
+	// limited design of this many KB instead: a fixed 256 KB register
+	// file plus the better of the two preset shared/cache splits for the
+	// kernel. Mutually exclusive with AllocTotalKB.
+	FermiTotalKB int `json:"fermi_total_kb,omitempty"`
 	// RegsPerThread overrides the per-thread register allocation; 0 (or
 	// anything at or above the kernel's demand) is the spill-free value.
 	RegsPerThread int `json:"regs_per_thread,omitempty"`

@@ -5,9 +5,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -73,7 +75,15 @@ func (c *Client) doRaw(ctx context.Context, method, path string, in any) ([]byte
 		return nil, err
 	}
 	if resp.StatusCode/100 != 2 {
-		return nil, decodeError(resp.StatusCode, body)
+		e := decodeError(resp.StatusCode, body)
+		if e.RetryAfterS == 0 {
+			// Non-envelope 429s (proxies, load balancers) still carry the
+			// standard header; surface it so WaitJob can back off.
+			if n, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && n > 0 {
+				e.RetryAfterS = n
+			}
+		}
+		return nil, e
 	}
 	return body, nil
 }
@@ -182,18 +192,48 @@ func (c *Client) JobResult(ctx context.Context, id string) ([]byte, error) {
 	return c.doRaw(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil)
 }
 
-// WaitJob polls the job at the given interval until it reaches a
-// terminal state (or ctx ends). onPoll, when non-nil, observes every
-// polled state.
+// waitJobMaxBackoff caps how long WaitJob honors a server's Retry-After
+// hint, so a misconfigured server cannot park a waiter for minutes.
+const waitJobMaxBackoff = 30 * time.Second
+
+// WaitJob polls the job until it reaches a terminal state (or ctx
+// ends). onPoll, when non-nil, observes every successfully polled
+// state. Polling honors server backoff: a 429 (over-capacity) poll does
+// not fail the wait — the client sleeps for the server's Retry-After /
+// retry_after_s hint (at least the poll interval, capped at
+// waitJobMaxBackoff) and retries. Every sleep is context-aware, so
+// cancellation is prompt even mid-backoff.
 func (c *Client) WaitJob(ctx context.Context, id string, interval time.Duration, onPoll func(*Job)) (*Job, error) {
 	if interval <= 0 {
 		interval = 250 * time.Millisecond
 	}
-	t := time.NewTicker(interval)
-	defer t.Stop()
+	sleep := func(d time.Duration) error {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+			return nil
+		}
+	}
 	for {
 		j, err := c.Job(ctx, id)
 		if err != nil {
+			var ae *Error
+			if errors.As(err, &ae) && ae.HTTPStatus == http.StatusTooManyRequests {
+				d := interval
+				if hinted := time.Duration(ae.RetryAfterS) * time.Second; hinted > d {
+					d = hinted
+				}
+				if d > waitJobMaxBackoff {
+					d = waitJobMaxBackoff
+				}
+				if err := sleep(d); err != nil {
+					return nil, err
+				}
+				continue
+			}
 			return nil, err
 		}
 		if onPoll != nil {
@@ -202,12 +242,38 @@ func (c *Client) WaitJob(ctx context.Context, id string, interval time.Duration,
 		if j.Terminal() {
 			return j, nil
 		}
-		select {
-		case <-ctx.Done():
-			return j, ctx.Err()
-		case <-t.C:
+		if err := sleep(interval); err != nil {
+			return j, err
 		}
 	}
+}
+
+// Compare runs a compare campaign remotely: it submits the campaign as
+// an async job, waits for it (WaitJob semantics, including backoff),
+// and returns the decoded batch — byte-for-byte the /v1/batch response
+// of the campaign's compiled runs. onPoll, when non-nil, observes every
+// poll.
+func (c *Client) Compare(ctx context.Context, req CompareRequest, interval time.Duration, onPoll func(*Job)) (*BatchResponse, error) {
+	job, err := c.SubmitJob(ctx, JobRequest{Compare: &req})
+	if err != nil {
+		return nil, err
+	}
+	job, err = c.WaitJob(ctx, job.ID, interval, onPoll)
+	if err != nil {
+		return nil, err
+	}
+	if job.State != JobDone {
+		return nil, fmt.Errorf("api: compare job %s finished %s: %v", job.ID, job.State, job.Error)
+	}
+	raw, err := c.JobResult(ctx, job.ID)
+	if err != nil {
+		return nil, err
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(raw, &br); err != nil {
+		return nil, fmt.Errorf("api: decoding compare job result: %w", err)
+	}
+	return &br, nil
 }
 
 // JobEvents streams a job's server-sent events, invoking fn for each

@@ -1,0 +1,140 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// jobPollServer answers GET /v1/jobs/{id} from a scripted sequence of
+// responses, one per poll.
+func jobPollServer(t *testing.T, responses []func(w http.ResponseWriter)) (*Client, *atomic.Int64) {
+	t.Helper()
+	var polls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := int(polls.Add(1)) - 1
+		if n >= len(responses) {
+			n = len(responses) - 1
+		}
+		responses[n](w)
+	}))
+	t.Cleanup(ts.Close)
+	return NewClient(ts.URL), &polls
+}
+
+func writeJob(w http.ResponseWriter, j Job) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(j)
+}
+
+func write429(w http.ResponseWriter, retryAfterS int, inBody bool) {
+	if retryAfterS > 0 {
+		w.Header().Set("Retry-After", fmt.Sprint(retryAfterS))
+	}
+	w.WriteHeader(http.StatusTooManyRequests)
+	e := &Error{Code: CodeOverCapacity, Message: "admission queue full"}
+	if inBody {
+		e.RetryAfterS = retryAfterS
+	}
+	_ = json.NewEncoder(w).Encode(ErrorBody{Error: e})
+}
+
+// TestWaitJobSurvivesBackoff is the regression test for fixed-rate
+// polling: an over-capacity poll must not fail the wait — WaitJob backs
+// off and retries until the job turns terminal.
+func TestWaitJobSurvivesBackoff(t *testing.T) {
+	c, polls := jobPollServer(t, []func(http.ResponseWriter){
+		func(w http.ResponseWriter) { write429(w, 0, true) },
+		func(w http.ResponseWriter) { writeJob(w, Job{ID: "j1", State: JobRunning}) },
+		func(w http.ResponseWriter) { writeJob(w, Job{ID: "j1", State: JobDone}) },
+	})
+	var seen []string
+	j, err := c.WaitJob(context.Background(), "j1", time.Millisecond, func(j *Job) {
+		seen = append(seen, j.State)
+	})
+	if err != nil {
+		t.Fatalf("WaitJob: %v", err)
+	}
+	if j.State != JobDone {
+		t.Fatalf("final state = %q, want %q", j.State, JobDone)
+	}
+	if want := []string{JobRunning, JobDone}; len(seen) != 2 || seen[0] != want[0] || seen[1] != want[1] {
+		t.Fatalf("onPoll saw %v, want %v (429 polls must not reach onPoll)", seen, want)
+	}
+	if got := polls.Load(); got != 3 {
+		t.Fatalf("server saw %d polls, want 3", got)
+	}
+}
+
+// TestWaitJobHonorsRetryAfter pins that the server's hint stretches the
+// retry delay past the poll interval.
+func TestWaitJobHonorsRetryAfter(t *testing.T) {
+	const hintS = 1
+	c, _ := jobPollServer(t, []func(http.ResponseWriter){
+		func(w http.ResponseWriter) { write429(w, hintS, true) },
+		func(w http.ResponseWriter) { writeJob(w, Job{ID: "j1", State: JobDone}) },
+	})
+	start := time.Now()
+	if _, err := c.WaitJob(context.Background(), "j1", time.Millisecond, nil); err != nil {
+		t.Fatalf("WaitJob: %v", err)
+	}
+	if d := time.Since(start); d < hintS*time.Second {
+		t.Fatalf("WaitJob returned after %v, want >= %ds (Retry-After hint ignored)", d, hintS)
+	}
+}
+
+// TestWaitJobBackoffIsContextAware pins that cancellation interrupts a
+// backoff sleep promptly, even under a long Retry-After hint.
+func TestWaitJobBackoffIsContextAware(t *testing.T) {
+	c, _ := jobPollServer(t, []func(http.ResponseWriter){
+		func(w http.ResponseWriter) { write429(w, 20, true) },
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.WaitJob(ctx, "j1", time.Millisecond, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("WaitJob error = %v, want context.DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancellation took %v; the backoff sleep is not context-aware", d)
+	}
+}
+
+// TestWaitJobNon429StillFails pins that only over-capacity responses
+// are retried; other poll errors surface immediately.
+func TestWaitJobNon429StillFails(t *testing.T) {
+	c, _ := jobPollServer(t, []func(http.ResponseWriter){
+		func(w http.ResponseWriter) {
+			w.WriteHeader(http.StatusNotFound)
+			_ = json.NewEncoder(w).Encode(ErrorBody{Error: &Error{Code: CodeNotFound, Message: "no job"}})
+		},
+	})
+	_, err := c.WaitJob(context.Background(), "j1", time.Millisecond, nil)
+	var ae *Error
+	if !errors.As(err, &ae) || ae.Code != CodeNotFound {
+		t.Fatalf("WaitJob error = %v, want *Error with code %q", err, CodeNotFound)
+	}
+}
+
+// TestRetryAfterHeaderFallback pins that a 429 whose body lacks
+// retry_after_s still surfaces the standard Retry-After header.
+func TestRetryAfterHeaderFallback(t *testing.T) {
+	c, _ := jobPollServer(t, []func(http.ResponseWriter){
+		func(w http.ResponseWriter) { write429(w, 7, false) },
+	})
+	_, err := c.Job(context.Background(), "j1")
+	var ae *Error
+	if !errors.As(err, &ae) {
+		t.Fatalf("Job error = %v, want *Error", err)
+	}
+	if ae.RetryAfterS != 7 {
+		t.Fatalf("RetryAfterS = %d, want 7 (Retry-After header not decoded)", ae.RetryAfterS)
+	}
+}

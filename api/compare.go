@@ -1,0 +1,76 @@
+package api
+
+import "repro/internal/machine"
+
+// CompareRequest is a declarative compare campaign: N named machines
+// evaluated over one workload list, diffed metric-by-metric against a
+// designated baseline machine, with optional paper-style comparison
+// tables and regression thresholds. It is both the schema of a campaign
+// file (cmd/compare -campaign, examples/campaigns/) and the body of a
+// "compare" job (POST /v1/jobs {"compare": ...}); internal/campaign
+// validates, expands, and renders it. A campaign compiles to one
+// machine-major batch of RunRequests, so a compare job's result bytes
+// are byte-identical to POST /v1/batch of the compiled runs.
+type CompareRequest struct {
+	// Name identifies the campaign (job notes, default table titles).
+	Name string `json:"name"`
+	// Title optionally overrides Name in rendered table titles.
+	Title string `json:"title,omitempty"`
+	// Machines are the named configurations under comparison.
+	Machines []CompareMachine `json:"machines"`
+	// Baseline names the machine the diff columns normalize against;
+	// empty means the first machine.
+	Baseline string `json:"baseline,omitempty"`
+	// Workloads lists registry kernels by name, "needle@BF" variants, or
+	// the set aliases "all", "benefit", "no-benefit" (expanded in
+	// registry order). Entries must be unique after expansion.
+	Workloads []string `json:"workloads"`
+	// Metrics selects the diff tables: "ipc", "cycles", "dram",
+	// "energy", "conflict-cycles". Empty means ipc, energy, dram.
+	Metrics []string `json:"metrics,omitempty"`
+	// Thresholds maps a metric name to the regression tolerance in
+	// percent: a non-baseline machine whose metric is worse than the
+	// baseline by more than this is flagged ("!") and reported.
+	Thresholds map[string]float64 `json:"thresholds,omitempty"`
+	// Tables appends paper-style baseline-comparison tables (the
+	// Figure 7/9/10 rendering) for chosen machines and workload subsets.
+	Tables []CompareTable `json:"tables,omitempty"`
+	// Seed perturbs every run's per-warp random streams (0 = default).
+	Seed uint64 `json:"seed,omitempty"`
+	// TimeoutMS bounds each run's wall time on a server (0 = default).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// CompareMachine is one campaign machine: an arbitrary machine document
+// (exactly the -machine file schema) or one of the per-kernel derived
+// designs of the paper.
+type CompareMachine struct {
+	// Name labels the machine in every table; unique per campaign.
+	Name string `json:"name"`
+	// Machine is the machine description; zero-valued fields take the
+	// paper's defaults, so {} is the partitioned baseline.
+	Machine machine.Description `json:"machine,omitempty"`
+	// AllocTotalKB, when positive, replaces the description's design and
+	// capacities with the §4.5 per-kernel allocation of a unified memory
+	// of this many KB (RunRequest.AllocTotalKB).
+	AllocTotalKB int `json:"alloc_total_kb,omitempty"`
+	// FermiTotalKB, when positive, selects the Fermi-like limited design
+	// of this total capacity instead: a fixed 256 KB register file plus
+	// the better preset shared/cache split per kernel
+	// (RunRequest.FermiTotalKB). Mutually exclusive with AllocTotalKB.
+	FermiTotalKB int `json:"fermi_total_kb,omitempty"`
+}
+
+// CompareTable requests one paper-style comparison table: the machine's
+// perf/energy/DRAM ratios against the campaign baseline, one row per
+// workload, rendered with the Figure 7/9/10 columns.
+type CompareTable struct {
+	// Title is the table heading; empty derives "<machine> vs
+	// <baseline>".
+	Title string `json:"title,omitempty"`
+	// Machine names the campaign machine the table evaluates.
+	Machine string `json:"machine"`
+	// Workloads restricts the rows to a subset of the campaign's
+	// workloads (same syntax); empty means all of them.
+	Workloads []string `json:"workloads,omitempty"`
+}

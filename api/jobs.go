@@ -22,6 +22,9 @@ type JobRequest struct {
 	Sweep *SweepRequest `json:"sweep,omitempty"`
 	// Experiment renders one named paper experiment.
 	Experiment *ExperimentRequest `json:"experiment,omitempty"`
+	// Compare runs a declarative compare campaign, expanded server-side
+	// into its machine-major batch (the cmd/compare surface as a job).
+	Compare *CompareRequest `json:"compare,omitempty"`
 }
 
 // SweepRequest is a server-side sweep: one kernel, one base machine,
@@ -104,7 +107,7 @@ const (
 type Job struct {
 	// ID addresses the job ("j1", "j2", ...; unique per data directory).
 	ID string `json:"id"`
-	// Type is "run", "batch", "sweep", or "experiment".
+	// Type is "run", "batch", "sweep", "experiment", or "compare".
 	Type string `json:"type"`
 	// State is one of the Job* state constants.
 	State string `json:"state"`

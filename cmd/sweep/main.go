@@ -191,7 +191,7 @@ func main() {
 	} else {
 		title += fmt.Sprintf(" (forked at cycle %d)", *warmCycles)
 	}
-	t := report.NewTable(title, firstCol, "threads", "cycles", "IPC", "dram bytes", "energy (J)")
+	t := report.NewRunTable(title, firstCol)
 	for _, row := range rows {
 		t.AddRow(row...)
 	}
@@ -204,11 +204,11 @@ func main() {
 		len(values), time.Since(start).Round(time.Millisecond), parallel.Workers())
 }
 
-// resultRow formats one sweep point's table row.
+// resultRow formats one sweep point's table row (warp IPC, as
+// everywhere in the sweep tables).
 func resultRow(label string, res *core.Result) []string {
-	return []string{label, fmt.Sprint(res.Occupancy.Threads),
-		fmt.Sprint(res.Counters.Cycles), fmt.Sprintf("%.3f", res.Counters.IPC()),
-		fmt.Sprint(res.Counters.DRAMBytes()), fmt.Sprintf("%.3e", res.Energy.Total())}
+	return report.RunRow(label, res.Occupancy.Threads, res.Counters.Cycles,
+		res.Counters.IPC(), res.Counters.DRAMBytes(), res.Energy.Total())
 }
 
 // capacitySweep runs one independent simulation per capacity point,
@@ -232,7 +232,7 @@ func capacitySweep(r *core.Runner, k *workloads.Kernel, base config.MemConfig, c
 		label := fmt.Sprintf("%dK", kb)
 		res, err := r.Run(core.RunSpec{Kernel: k, Config: cfg}, opts...)
 		if core.IsInfeasible(err) {
-			return []string{label, "-", "infeasible", "-", "-", "-"}, nil
+			return report.InfeasibleRunRow(label), nil
 		}
 		if err != nil {
 			return nil, err
@@ -249,7 +249,7 @@ func paramSweep(r *core.Runner, k *workloads.Kernel, cfg config.MemConfig, value
 	if core.IsInfeasible(err) {
 		rows := make([][]string, len(values))
 		for i, v := range values {
-			rows[i] = []string{fmt.Sprint(v), "-", "infeasible", "-", "-", "-"}
+			rows[i] = report.InfeasibleRunRow(fmt.Sprint(v))
 		}
 		return rows, nil
 	}
@@ -321,7 +321,7 @@ func submitSweep(baseURL string, req api.SweepRequest, isParam, csv bool) error 
 	} else {
 		title += fmt.Sprintf(" (forked at cycle %d)", req.WarmCycles)
 	}
-	t := report.NewTable(title, firstCol, "threads", "cycles", "IPC", "dram bytes", "energy (J)")
+	t := report.NewRunTable(title, firstCol)
 	for i, it := range items {
 		label := fmt.Sprint(values[i])
 		if !isParam {
@@ -329,7 +329,7 @@ func submitSweep(baseURL string, req api.SweepRequest, isParam, csv bool) error 
 		}
 		switch {
 		case it.Error != nil && it.Error.Code == api.CodeInfeasible:
-			t.AddRow(label, "-", "infeasible", "-", "-", "-")
+			t.AddRow(report.InfeasibleRunRow(label)...)
 		case it.Error != nil:
 			return fmt.Errorf("point %s failed: %v", label, it.Error)
 		default:
@@ -349,7 +349,6 @@ func submitSweep(baseURL string, req api.SweepRequest, isParam, csv bool) error 
 // responseRow is resultRow for a service response: same columns, same
 // formatting, so remote and local tables agree.
 func responseRow(label string, r *api.RunResponse) []string {
-	return []string{label, fmt.Sprint(r.Occupancy.Threads),
-		fmt.Sprint(r.Counters.Cycles), fmt.Sprintf("%.3f", r.Counters.IPC()),
-		fmt.Sprint(r.Counters.DRAMBytes()), fmt.Sprintf("%.3e", r.Energy.Total)}
+	return report.RunRow(label, r.Occupancy.Threads, r.Counters.Cycles,
+		r.Counters.IPC(), r.Counters.DRAMBytes(), r.Energy.Total)
 }

@@ -1,0 +1,148 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+
+	"repro/api"
+)
+
+// minSpec is a small valid campaign to mutate in validation tests.
+func minSpec() api.CompareRequest {
+	return api.CompareRequest{
+		Name: "t",
+		Machines: []api.CompareMachine{
+			{Name: "base"},
+			{Name: "uni", AllocTotalKB: 384},
+		},
+		Workloads: []string{"vectoradd", "sto"},
+	}
+}
+
+func TestNewCompilesMachineMajorRuns(t *testing.T) {
+	spec := minSpec()
+	spec.Workloads = []string{"vectoradd", "needle@64"}
+	spec.Seed = 7
+	c, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Baseline != 0 || c.BaselineName() != "base" {
+		t.Fatalf("baseline = %d (%s), want first machine", c.Baseline, c.BaselineName())
+	}
+	if len(c.Runs) != 4 {
+		t.Fatalf("compiled %d runs, want 2 machines x 2 workloads", len(c.Runs))
+	}
+	// Machine-major: [base/vectoradd, base/needle, uni/vectoradd, uni/needle].
+	wantKernels := []string{"vectoradd", "needle", "vectoradd", "needle"}
+	for i, rr := range c.Runs {
+		if rr.Kernel != wantKernels[i] {
+			t.Errorf("run %d kernel = %q, want %q", i, rr.Kernel, wantKernels[i])
+		}
+		if rr.Seed != 7 {
+			t.Errorf("run %d seed = %d, want campaign seed", i, rr.Seed)
+		}
+	}
+	if c.Runs[1].BF != 64 || c.Runs[3].BF != 64 {
+		t.Errorf("needle runs lost the blocking factor: %+v", c.Runs)
+	}
+	if c.Runs[2].AllocTotalKB != 384 || c.Runs[0].AllocTotalKB != 0 {
+		t.Errorf("alloc override misplaced: %+v", c.Runs)
+	}
+	if c.Workloads[1].Label != "needle@64" {
+		t.Errorf("needle label = %q, want needle@64", c.Workloads[1].Label)
+	}
+}
+
+func TestAliasExpansion(t *testing.T) {
+	spec := minSpec()
+	spec.Workloads = []string{"benefit"}
+	c, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Workloads) == 0 || c.Workloads[0].Label != "bfs" {
+		t.Fatalf("benefit alias expanded to %+v", c.Workloads)
+	}
+	spec.Workloads = []string{"all", "bfs"}
+	if _, err := New(spec); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Errorf("overlapping alias + name should fail, got %v", err)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*api.CompareRequest)
+		wantErr string
+	}{
+		{"missing name", func(s *api.CompareRequest) { s.Name = "" }, "missing \"name\""},
+		{"no machines", func(s *api.CompareRequest) { s.Machines = nil }, "at least one machine"},
+		{"unnamed machine", func(s *api.CompareRequest) { s.Machines[1].Name = "" }, "missing \"name\""},
+		{"duplicate machine", func(s *api.CompareRequest) { s.Machines[1].Name = "base" }, "duplicate machine"},
+		{"alloc and fermi", func(s *api.CompareRequest) { s.Machines[1].FermiTotalKB = 384 }, "at most one of"},
+		{"fermi too small", func(s *api.CompareRequest) {
+			s.Machines[1].AllocTotalKB = 0
+			s.Machines[1].FermiTotalKB = 256
+		}, "must exceed"},
+		{"bad design", func(s *api.CompareRequest) { s.Machines[0].Machine.Design = "quantum" }, "unknown design"},
+		{"unknown baseline", func(s *api.CompareRequest) { s.Baseline = "nope" }, "not a campaign machine"},
+		{"no workloads", func(s *api.CompareRequest) { s.Workloads = nil }, "at least one workload"},
+		{"unknown workload", func(s *api.CompareRequest) { s.Workloads = []string{"nope"} }, "nope"},
+		{"bad blocking factor", func(s *api.CompareRequest) { s.Workloads = []string{"needle@x"} }, "bad blocking factor"},
+		{"bf on non-needle", func(s *api.CompareRequest) { s.Workloads = []string{"bfs@64"} }, "needle only"},
+		{"unknown metric", func(s *api.CompareRequest) { s.Metrics = []string{"vibes"} }, "unknown metric"},
+		{"threshold off metric", func(s *api.CompareRequest) {
+			s.Metrics = []string{"ipc"}
+			s.Thresholds = map[string]float64{"energy": 5}
+		}, "not a selected metric"},
+		{"table unknown machine", func(s *api.CompareRequest) {
+			s.Tables = []api.CompareTable{{Machine: "nope"}}
+		}, "not a campaign machine"},
+		{"table workload outside campaign", func(s *api.CompareRequest) {
+			s.Tables = []api.CompareTable{{Machine: "uni", Workloads: []string{"bfs"}}}
+		}, "not in the campaign's workload list"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := minSpec()
+			tc.mutate(&spec)
+			_, err := New(spec)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	_, err := Parse([]byte(`{"name":"t","machines":[{"name":"m"}],"workloads":["sto"],"bogus":1}`))
+	if err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("unknown field should fail decoding, got %v", err)
+	}
+}
+
+func TestTableDefaults(t *testing.T) {
+	spec := minSpec()
+	spec.Tables = []api.CompareTable{{Machine: "uni"}}
+	c, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.tables[0].title; got != "uni vs base" {
+		t.Errorf("default table title = %q", got)
+	}
+	if len(c.tables[0].workloads) != len(c.Workloads) {
+		t.Errorf("default table workloads = %v, want all %d", c.tables[0].workloads, len(c.Workloads))
+	}
+}
+
+func TestNote(t *testing.T) {
+	c, err := New(minSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Note(); got != "compare t (2 machines x 2 workloads)" {
+		t.Errorf("Note() = %q", got)
+	}
+}

@@ -309,13 +309,61 @@ type Comparison struct {
 	DRAMRatio float64
 }
 
+// NamedMachine pairs a display name with the rule deriving a kernel's
+// memory configuration under that machine. The rule is per-kernel
+// because the paper's flexible designs are: the §4.5 allocator and the
+// Fermi-like preset chooser size RF/shared/cache from each kernel's
+// requirements, while fixed machines ignore the kernel entirely.
+type NamedMachine struct {
+	Name      string
+	Configure func(k *workloads.Kernel) (config.MemConfig, error)
+}
+
+// MachineSet is an ordered list of named machines — the generalization
+// of the hardcoded partitioned/unified/fermi-like tuple that the
+// experiment drivers and the campaign layer iterate over.
+type MachineSet []NamedMachine
+
+// FixedMachine is a machine with one configuration for every kernel.
+func FixedMachine(name string, cfg config.MemConfig) NamedMachine {
+	return NamedMachine{Name: name, Configure: func(*workloads.Kernel) (config.MemConfig, error) {
+		return cfg, nil
+	}}
+}
+
+// BaselineMachine is the paper's partitioned baseline (Table 2).
+func BaselineMachine() NamedMachine {
+	return FixedMachine(config.Partitioned.String(), config.Baseline())
+}
+
+// UnifiedMachine applies the §4.5 allocation of a unified memory of
+// totalBytes per kernel.
+func UnifiedMachine(name string, totalBytes int) NamedMachine {
+	return NamedMachine{Name: name, Configure: func(k *workloads.Kernel) (config.MemConfig, error) {
+		cfg, err := config.Allocate(k.Requirements(), totalBytes, 0)
+		if err != nil {
+			return config.MemConfig{}, fmt.Errorf("allocate %s: %w", k.Name, err)
+		}
+		return cfg, nil
+	}}
+}
+
+// FermiMachine applies the Fermi-like limited design of totalBytes per
+// kernel: a fixed 256 KB register file plus the better of the two
+// preset shared/cache splits.
+func FermiMachine(name string, totalBytes int) NamedMachine {
+	return NamedMachine{Name: name, Configure: func(k *workloads.Kernel) (config.MemConfig, error) {
+		return config.ChooseFermi(k.Requirements(), totalBytes-config.BaselineRFBytes, 0), nil
+	}}
+}
+
 // CompareUnified runs a kernel under the Section 4.5 allocation of a
 // unified memory of totalBytes and compares it with the kernel's baseline
 // partitioned run.
 func (r *Runner) CompareUnified(k *workloads.Kernel, totalBytes int) (Comparison, error) {
-	cfg, err := config.Allocate(k.Requirements(), totalBytes, 0)
+	cfg, err := UnifiedMachine(config.Unified.String(), totalBytes).Configure(k)
 	if err != nil {
-		return Comparison{}, fmt.Errorf("allocate %s: %w", k.Name, err)
+		return Comparison{}, err
 	}
 	return r.compare(k, cfg)
 }
@@ -324,8 +372,10 @@ func (r *Runner) CompareUnified(k *workloads.Kernel, totalBytes int) (Comparison
 // 256 KB register file, shared/cache split chosen per kernel from two
 // presets) and compares with baseline.
 func (r *Runner) CompareFermi(k *workloads.Kernel, totalBytes int) (Comparison, error) {
-	nonRF := totalBytes - config.BaselineRFBytes
-	cfg := config.ChooseFermi(k.Requirements(), nonRF, 0)
+	cfg, err := FermiMachine(config.FermiLike.String(), totalBytes).Configure(k)
+	if err != nil {
+		return Comparison{}, err
+	}
 	return r.compare(k, cfg)
 }
 
@@ -352,24 +402,33 @@ func (r *Runner) compare(k *workloads.Kernel, cfg config.MemConfig) (Comparison,
 // partitioned baseline for the no-benefit set; the paper's result is that
 // every change stays within about 1%.
 func (r *Runner) Figure7() ([]Comparison, error) {
-	return r.compareAll(workloads.NoBenefitSet(), config.BaselineTotalBytes, (*Runner).CompareUnified)
+	return r.CompareMachine(workloads.NoBenefitSet(),
+		UnifiedMachine(config.Unified.String(), config.BaselineTotalBytes))
 }
 
 // Figure9 is the same comparison for the benefit set (gains of 4-71%).
 func (r *Runner) Figure9() ([]Comparison, error) {
-	return r.compareAll(workloads.BenefitSet(), config.BaselineTotalBytes, (*Runner).CompareUnified)
+	return r.CompareMachine(workloads.BenefitSet(),
+		UnifiedMachine(config.Unified.String(), config.BaselineTotalBytes))
 }
 
 // Figure10 compares the Fermi-like limited-flexibility design for the
 // benefit set.
 func (r *Runner) Figure10() ([]Comparison, error) {
-	return r.compareAll(workloads.BenefitSet(), config.BaselineTotalBytes, (*Runner).CompareFermi)
+	return r.CompareMachine(workloads.BenefitSet(),
+		FermiMachine(config.FermiLike.String(), config.BaselineTotalBytes))
 }
 
-func (r *Runner) compareAll(ks []*workloads.Kernel, total int,
-	f func(*Runner, *workloads.Kernel, int) (Comparison, error)) ([]Comparison, error) {
+// CompareMachine compares every kernel against its partitioned baseline
+// run under one named machine, fanned out across the parallel engine in
+// kernel order.
+func (r *Runner) CompareMachine(ks []*workloads.Kernel, m NamedMachine) ([]Comparison, error) {
 	return parallel.Map(len(ks), func(i int) (Comparison, error) {
-		return f(r, ks[i], total)
+		cfg, err := m.Configure(ks[i])
+		if err != nil {
+			return Comparison{}, err
+		}
+		return r.compare(ks[i], cfg)
 	})
 }
 
@@ -401,32 +460,43 @@ func (r *Runner) Figure8() ([]Figure8Row, error) {
 	return out, nil
 }
 
-// Table5Row is the bank-conflict breakdown of one design (Table 5).
-type Table5Row struct {
-	Design    config.Design
+// ConflictRow is the bank-conflict breakdown of one named machine
+// (Table 5).
+type ConflictRow struct {
+	Machine   string
 	Fractions [stats.ConflictBuckets]float64
 }
 
 // Table5 aggregates the per-instruction maximum-bank-accesses histogram
-// across the Figure 7 benchmarks for both designs. The (design, kernel)
-// runs form one flat parallel batch; aggregation stays in kernel order.
-func (r *Runner) Table5() ([2]Table5Row, error) {
-	var out [2]Table5Row
-	designs := []config.Design{config.Partitioned, config.Unified}
-	kernels := workloads.NoBenefitSet()
-	fracs, err := parallel.Map(len(designs)*len(kernels),
+// across the Figure 7 benchmarks for the partitioned and unified
+// designs.
+func (r *Runner) Table5() ([]ConflictRow, error) {
+	set := MachineSet{
+		BaselineMachine(),
+		UnifiedMachine(config.Unified.String(), config.BaselineTotalBytes),
+	}
+	return r.ConflictBreakdown(set, workloads.NoBenefitSet())
+}
+
+// ConflictBreakdown aggregates the per-instruction maximum-bank-accesses
+// histogram across the kernels for every machine of the set, weighting
+// benchmarks equally as the paper averages. The (machine, kernel) runs
+// form one flat parallel batch; aggregation stays in kernel order.
+func (r *Runner) ConflictBreakdown(set MachineSet, kernels []*workloads.Kernel) ([]ConflictRow, error) {
+	fracs, err := parallel.Map(len(set)*len(kernels),
 		func(i int) ([stats.ConflictBuckets]float64, error) {
-			design := designs[i/len(kernels)]
+			m := set[i/len(kernels)]
 			k := kernels[i%len(kernels)]
+			cfg, err := m.Configure(k)
+			if err != nil {
+				return [stats.ConflictBuckets]float64{}, err
+			}
 			var res *Result
-			var err error
-			if design == config.Partitioned {
+			if cfg == config.Baseline() {
+				// The baseline run doubles as the energy calibration and
+				// is cached on the Runner.
 				res, err = r.Baseline(k)
 			} else {
-				cfg, aerr := config.Allocate(k.Requirements(), config.BaselineTotalBytes, 0)
-				if aerr != nil {
-					return [stats.ConflictBuckets]float64{}, aerr
-				}
 				res, err = r.Run(RunSpec{Kernel: k, Config: cfg})
 			}
 			if err != nil {
@@ -435,9 +505,10 @@ func (r *Runner) Table5() ([2]Table5Row, error) {
 			return res.Counters.ConflictFractions(), nil
 		})
 	if err != nil {
-		return out, err
+		return nil, err
 	}
-	for i, design := range designs {
+	out := make([]ConflictRow, len(set))
+	for i, m := range set {
 		var agg stats.Counters
 		for _, frac := range fracs[i*len(kernels) : (i+1)*len(kernels)] {
 			for b := range frac {
@@ -445,7 +516,7 @@ func (r *Runner) Table5() ([2]Table5Row, error) {
 				agg.ConflictHist[b] += int64(frac[b] * 1e6)
 			}
 		}
-		row := Table5Row{Design: design}
+		row := ConflictRow{Machine: m.Name}
 		total := int64(0)
 		for _, v := range agg.ConflictHist {
 			total += v

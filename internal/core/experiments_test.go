@@ -268,7 +268,7 @@ func TestTable5Shape(t *testing.T) {
 	part, uni := rows[0], rows[1]
 	t.Logf("partitioned: %v", part.Fractions)
 	t.Logf("unified:     %v", uni.Fractions)
-	if part.Design != config.Partitioned || uni.Design != config.Unified {
+	if part.Machine != config.Partitioned.String() || uni.Machine != config.Unified.String() {
 		t.Fatal("rows out of order")
 	}
 	if part.Fractions[0] < 0.90 || uni.Fractions[0] < 0.90 {

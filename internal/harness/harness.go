@@ -81,8 +81,9 @@ func Table1(r *core.Runner) (*report.Table, error) {
 	return t, nil
 }
 
-// sweepTable renders capacity-sweep figures.
-func sweepTable(title string, sweeps []core.FigureSweep, lineLabel string) *report.Table {
+// SweepTable renders capacity-sweep figures: one row per (benchmark,
+// point), with infeasible points marked.
+func SweepTable(title string, sweeps []core.FigureSweep, lineLabel string) *report.Table {
 	t := report.NewTable(title, "benchmark", lineLabel, "threads", "capacity", "norm perf")
 	for _, sw := range sweeps {
 		for _, p := range sw.Points {
@@ -103,7 +104,7 @@ func Figure2(r *core.Runner) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sweepTable("Figure 2: performance vs register file capacity (normalized to 64 regs, 1024 threads)",
+	return SweepTable("Figure 2: performance vs register file capacity (normalized to 64 regs, 1024 threads)",
 		sweeps, "regs/thread"), nil
 }
 
@@ -113,7 +114,7 @@ func Figure3(r *core.Runner) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sweepTable("Figure 3: performance vs shared memory capacity (normalized to 1024 threads)",
+	return SweepTable("Figure 3: performance vs shared memory capacity (normalized to 1024 threads)",
 		sweeps, "-"), nil
 }
 
@@ -123,7 +124,7 @@ func Figure4(r *core.Runner) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sweepTable("Figure 4: performance vs cache capacity (normalized to 512KB cache, 1024 threads)",
+	return SweepTable("Figure 4: performance vs cache capacity (normalized to 512KB cache, 1024 threads)",
 		sweeps, "-"), nil
 }
 
@@ -147,7 +148,7 @@ func Table5(r *core.Runner) (*report.Table, error) {
 	t := report.NewTable("Table 5: warp instructions by max accesses to a single bank (Figure 7 benchmarks)",
 		"design", "<=1", "2", "3", "4", ">4")
 	for _, row := range rows {
-		t.AddRow(row.Design.String(),
+		t.AddRow(row.Machine,
 			report.Percent(row.Fractions[0]), report.Percent(row.Fractions[1]),
 			report.Percent(row.Fractions[2]), report.Percent(row.Fractions[3]),
 			report.Percent(row.Fractions[4]))
@@ -155,15 +156,30 @@ func Table5(r *core.Runner) (*report.Table, error) {
 	return t, nil
 }
 
-// comparisonTable renders unified/Fermi-like versus baseline comparisons.
-func comparisonTable(title string, comps []core.Comparison) *report.Table {
-	t := report.NewTable(title,
+// NewComparisonTable returns an empty baseline-comparison table with
+// the canonical Figure 7/9/10 columns. Callers that need per-row
+// control (e.g. infeasible markers in campaign tables) pair it with
+// ComparisonRow; everyone else uses ComparisonTable.
+func NewComparisonTable(title string) *report.Table {
+	return report.NewTable(title,
 		"benchmark", "perf (x)", "energy (x)", "dram (x)", "threads", "rf", "shared", "cache")
+}
+
+// ComparisonRow formats one comparison for NewComparisonTable.
+func ComparisonRow(c core.Comparison) []string {
+	return []string{c.Benchmark, report.Ratio(c.PerfRatio), report.Ratio(c.EnergyRatio),
+		report.Ratio(c.DRAMRatio), fmt.Sprint(c.Threads),
+		report.KB(c.Config.RFBytes), report.KB(c.Config.SharedBytes),
+		report.KB(c.Config.CacheBytes)}
+}
+
+// ComparisonTable renders machine-versus-baseline comparisons — the
+// Figure 7/9/10 rendering, shared with the campaign layer's
+// paper-style tables.
+func ComparisonTable(title string, comps []core.Comparison) *report.Table {
+	t := NewComparisonTable(title)
 	for _, c := range comps {
-		t.AddRow(c.Benchmark, report.Ratio(c.PerfRatio), report.Ratio(c.EnergyRatio),
-			report.Ratio(c.DRAMRatio), fmt.Sprint(c.Threads),
-			report.KB(c.Config.RFBytes), report.KB(c.Config.SharedBytes),
-			report.KB(c.Config.CacheBytes))
+		t.AddRow(ComparisonRow(c)...)
 	}
 	return t
 }
@@ -174,7 +190,7 @@ func Figure7(r *core.Runner) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	return comparisonTable("Figure 7: unified (384KB) vs partitioned, applications with no benefit", comps), nil
+	return ComparisonTable("Figure 7: unified (384KB) vs partitioned, applications with no benefit", comps), nil
 }
 
 // Figure8 renders the chosen unified partitionings.
@@ -198,7 +214,7 @@ func Figure9(r *core.Runner) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	return comparisonTable("Figure 9: unified (384KB) vs partitioned, applications that benefit", comps), nil
+	return ComparisonTable("Figure 9: unified (384KB) vs partitioned, applications that benefit", comps), nil
 }
 
 // Figure10 renders the Fermi-like limited-flexibility comparison.
@@ -207,7 +223,7 @@ func Figure10(r *core.Runner) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	return comparisonTable("Figure 10: Fermi-like limited design (384KB) vs partitioned", comps), nil
+	return ComparisonTable("Figure 10: Fermi-like limited design (384KB) vs partitioned", comps), nil
 }
 
 // Table6 renders capacity sensitivity.

@@ -81,7 +81,9 @@ func (t *Table) WriteTo(w io.Writer) (int64, error) {
 	for _, wd := range widths {
 		total += wd + 2
 	}
-	b.WriteString(strings.Repeat("-", total-2))
+	if total >= 2 {
+		b.WriteString(strings.Repeat("-", total-2))
+	}
 	b.WriteByte('\n')
 	for _, row := range t.rows {
 		line(row)
@@ -129,11 +131,19 @@ func (t *Table) CSV() string {
 // can be pasted into EXPERIMENTS.md-style documents verbatim.
 func (t *Table) Markdown() string {
 	var b strings.Builder
+	esc := func(c string) string {
+		c = strings.ReplaceAll(c, "|", `\|`)
+		// A literal newline would terminate the markdown row; <br> keeps
+		// multi-line cells inside their table cell.
+		c = strings.ReplaceAll(c, "\r\n", "\n")
+		c = strings.ReplaceAll(c, "\r", "\n")
+		return strings.ReplaceAll(c, "\n", "<br>")
+	}
 	writeRow := func(cells []string) {
 		b.WriteByte('|')
 		for _, c := range cells {
 			b.WriteByte(' ')
-			b.WriteString(strings.ReplaceAll(c, "|", `\|`))
+			b.WriteString(esc(c))
 			b.WriteString(" |")
 		}
 		b.WriteByte('\n')
@@ -169,4 +179,33 @@ func Percent(v float64) string {
 // KB formats a byte count in binary kilobytes.
 func KB(bytes int) string {
 	return fmt.Sprintf("%dK", bytes>>10)
+}
+
+// Delta formats v's relative change from base as a signed percentage
+// with one decimal, or "-" when the baseline value is unusable.
+func Delta(base, v float64) string {
+	if base == 0 || base != base || v != v {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(v-base)/base)
+}
+
+// NewRunTable returns the canonical per-run metric table shared by
+// cmd/sweep and cmd/compare: one row per run, labeled by firstCol.
+func NewRunTable(title, firstCol string) *Table {
+	return NewTable(title, firstCol, "threads", "cycles", "IPC", "dram bytes", "energy (J)")
+}
+
+// RunRow formats one run's cells for NewRunTable. The formatting is the
+// contract that keeps local and service-rendered tables byte-identical:
+// callers on both sides feed exact round-tripped scalars through the
+// same verbs.
+func RunRow(label string, threads int, cycles int64, ipc float64, dramBytes int64, energyJoules float64) []string {
+	return []string{label, fmt.Sprint(threads), fmt.Sprint(cycles),
+		fmt.Sprintf("%.3f", ipc), fmt.Sprint(dramBytes), fmt.Sprintf("%.3e", energyJoules)}
+}
+
+// InfeasibleRunRow is RunRow for a configuration the kernel cannot fit.
+func InfeasibleRunRow(label string) []string {
+	return []string{label, "-", "infeasible", "-", "-", "-"}
 }

@@ -120,6 +120,111 @@ func TestChartSetSize(t *testing.T) {
 	}
 }
 
+func TestEmptyTables(t *testing.T) {
+	// No columns at all: header and separator degenerate to blank lines,
+	// but rendering must not panic (the separator is total-2 wide).
+	empty := NewTable("only a title")
+	if got := empty.String(); got != "only a title\n\n\n" {
+		t.Errorf("zero-column table = %q", got)
+	}
+	if got := NewTable("").String(); got != "\n\n" {
+		t.Errorf("fully empty table = %q", got)
+	}
+	// Columns but no rows: header and rule only.
+	headerOnly := NewTable("t", "a", "b")
+	if got := headerOnly.String(); got != "t\na  b\n----\n" {
+		t.Errorf("rowless table = %q", got)
+	}
+	if got := headerOnly.Markdown(); got != "| a | b |\n|---|---|\n" {
+		t.Errorf("rowless markdown = %q", got)
+	}
+	if got := headerOnly.CSV(); got != "a,b\n" {
+		t.Errorf("rowless CSV = %q", got)
+	}
+}
+
+func TestRaggedRows(t *testing.T) {
+	tab := NewTable("", "a", "b", "c")
+	tab.AddRow("1")           // short: padded to width
+	tab.AddRow()              // empty: all cells blank
+	tab.AddRow("x", "y", "z") // exact
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%q", len(lines), out)
+	}
+	width := len(lines[0])
+	for i, l := range lines {
+		if i == 1 {
+			continue // the rule line is total-2 wide by design
+		}
+		if len(l) != width {
+			t.Errorf("line %d width %d != %d:\n%q", i, len(l), width, out)
+		}
+	}
+	md := tab.Markdown()
+	for _, line := range strings.Split(strings.TrimRight(md, "\n"), "\n") {
+		if strings.Count(line, "|")-strings.Count(line, `\|`) != 4 {
+			t.Errorf("markdown row has wrong column count: %q", line)
+		}
+	}
+}
+
+func TestMarkdownEscapesCells(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRow("pipe|cell", "multi\nline")
+	tab.AddRow("crlf\r\ncell", "cr\rcell")
+	got := tab.Markdown()
+	want := "| a | b |\n|---|---|\n" +
+		"| pipe\\|cell | multi<br>line |\n" +
+		"| crlf<br>cell | cr<br>cell |\n"
+	if got != want {
+		t.Errorf("Markdown:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestDelta(t *testing.T) {
+	cases := []struct {
+		base, v float64
+		want    string
+	}{
+		{100, 110, "+10.0%"},
+		{100, 90, "-10.0%"},
+		{100, 100, "+0.0%"},
+		{0, 5, "-"},
+		{math.NaN(), 5, "-"},
+		{5, math.NaN(), "-"},
+	}
+	for _, c := range cases {
+		if got := Delta(c.base, c.v); got != c.want {
+			t.Errorf("Delta(%v, %v) = %q, want %q", c.base, c.v, got, c.want)
+		}
+	}
+}
+
+func TestRunRowFormatting(t *testing.T) {
+	got := RunRow("64K", 512, 123456, 3.14159, 98765, 0.00123)
+	want := []string{"64K", "512", "123456", "3.142", "98765", "1.230e-03"}
+	if len(got) != len(want) {
+		t.Fatalf("RunRow = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("RunRow[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	inf := InfeasibleRunRow("8K")
+	if inf[0] != "8K" || inf[2] != "infeasible" {
+		t.Errorf("InfeasibleRunRow = %v", inf)
+	}
+	tab := NewRunTable("t", "capacity")
+	tab.AddRow(got...)
+	tab.AddRow(inf...)
+	if !strings.Contains(tab.String(), "energy (J)") {
+		t.Errorf("run table header missing: %s", tab.String())
+	}
+}
+
 func TestMarkdown(t *testing.T) {
 	tb := NewTable("Title ignored", "name", "value")
 	tb.AddRow("plain", "1.00")

@@ -19,6 +19,7 @@ import (
 	"net/http"
 
 	"repro/api"
+	"repro/internal/campaign"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/jobs"
@@ -147,14 +148,14 @@ func (s *Server) jobResolve(request []byte) (jobs.Plan, error) {
 		return jobs.Plan{}, errBadRequest("bad request body: %v", err)
 	}
 	set := 0
-	for _, p := range []bool{req.Run != nil, req.Batch != nil, req.Sweep != nil, req.Experiment != nil} {
+	for _, p := range []bool{req.Run != nil, req.Batch != nil, req.Sweep != nil, req.Experiment != nil, req.Compare != nil} {
 		if p {
 			set++
 		}
 	}
 	if set != 1 {
 		return jobs.Plan{}, errBadRequest(
-			"a job must set exactly one of \"run\", \"batch\", \"sweep\", \"experiment\" (got %d)", set)
+			"a job must set exactly one of \"run\", \"batch\", \"sweep\", \"experiment\", \"compare\" (got %d)", set)
 	}
 	switch {
 	case req.Run != nil:
@@ -191,6 +192,24 @@ func (s *Server) jobResolve(request []byte) (jobs.Plan, error) {
 		return jobs.Plan{
 			Type:     "sweep",
 			Note:     note,
+			Items:    runItems(rrs),
+			Assemble: assembleBatch,
+		}, nil
+	case req.Compare != nil:
+		// A compare job is its campaign's compiled run matrix pushed
+		// through the batch path, so its result bytes are byte-identical
+		// to POST /v1/batch of those runs.
+		c, err := campaign.New(*req.Compare)
+		if err != nil {
+			return jobs.Plan{}, errBadRequest("compare: %v", err)
+		}
+		rrs, rerr := s.resolveBatch(api.BatchRequest{Runs: c.Runs})
+		if rerr != nil {
+			return jobs.Plan{}, rerr
+		}
+		return jobs.Plan{
+			Type:     "compare",
+			Note:     c.Note(),
 			Items:    runItems(rrs),
 			Assemble: assembleBatch,
 		}, nil

@@ -389,11 +389,21 @@ func (s *Server) resolve(req api.RunRequest) (*resolvedRun, error) {
 	if err != nil {
 		return nil, err
 	}
+	if req.AllocTotalKB > 0 && req.FermiTotalKB > 0 {
+		return nil, fmt.Errorf("at most one of alloc_total_kb and fermi_total_kb")
+	}
 	if req.AllocTotalKB > 0 {
 		cfg, err = config.Allocate(k.Requirements(), req.AllocTotalKB<<10, req.Machine.MaxThreads)
 		if err != nil {
 			return nil, err
 		}
+	}
+	if req.FermiTotalKB > 0 {
+		if req.FermiTotalKB<<10 <= config.BaselineRFBytes {
+			return nil, fmt.Errorf("fermi_total_kb must exceed the fixed %dKB register file",
+				config.BaselineRFBytes>>10)
+		}
+		cfg = config.ChooseFermi(k.Requirements(), req.FermiTotalKB<<10-config.BaselineRFBytes, req.Machine.MaxThreads)
 	}
 	rr := &resolvedRun{
 		kernel:  k,
