@@ -64,5 +64,6 @@ func (e *Error) Error() string {
 
 // ErrorBody is the JSON envelope of every non-2xx response.
 type ErrorBody struct {
+	// Error is the failure being enveloped.
 	Error *Error `json:"error"`
 }

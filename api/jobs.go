@@ -34,24 +34,27 @@ type JobRequest struct {
 // snapshot and share one copy-on-write warm prefix when WarmCycles is
 // set (see BatchRequest.WarmCycles).
 type SweepRequest struct {
-	// Kernel and BF name the benchmark, as in RunRequest.
+	// Kernel names the benchmark, as in RunRequest.
 	Kernel string `json:"kernel"`
-	BF     int    `json:"bf,omitempty"`
+	// BF selects a blocking-factor variant, as in RunRequest.
+	BF int `json:"bf,omitempty"`
 	// Machine is the base machine; the swept field is overwritten per
 	// point. An entirely unspecified capacity split takes the sweep
 	// default (full-occupancy RF, unbounded shared, baseline cache —
 	// exactly cmd/sweep's local baseline), not the paper baseline.
 	Machine machine.Description `json:"machine,omitempty"`
-	// RegsPerThread and Seed pass through to every point's RunRequest.
-	RegsPerThread int    `json:"regs_per_thread,omitempty"`
-	Seed          uint64 `json:"seed,omitempty"`
+	// RegsPerThread passes through to every point's RunRequest.
+	RegsPerThread int `json:"regs_per_thread,omitempty"`
+	// Seed passes through to every point's RunRequest.
+	Seed uint64 `json:"seed,omitempty"`
 	// Resource is the swept axis: "rf" | "shared" | "cache" (capacity,
 	// KB) or "mshr" | "dramlat" | "drambw" (timing parameter).
 	Resource string `json:"resource"`
-	// From/To/Step define the value range; Step is a positive additive
-	// step (e.g. "64") or "2x" for doubling.
-	From int    `json:"from"`
-	To   int    `json:"to"`
+	// From is the range's first value (inclusive).
+	From int `json:"from"`
+	// To is the range's last value (inclusive).
+	To int `json:"to"`
+	// Step is a positive additive step (e.g. "64") or "2x" for doubling.
 	Step string `json:"step"`
 	// WarmCycles shares one warm prefix across parameter-axis points
 	// (rejected for capacity axes, which define the warm-up history).
@@ -118,10 +121,11 @@ type Job struct {
 	Progress JobProgress `json:"progress"`
 	// Resumes counts server restarts that re-entered this job.
 	Resumes int `json:"resumes,omitempty"`
-	// CreatedUnix/StartedUnix/FinishedUnix are Unix-second timestamps
-	// (0 = not yet).
-	CreatedUnix  int64 `json:"created_unix,omitempty"`
-	StartedUnix  int64 `json:"started_unix,omitempty"`
+	// CreatedUnix is the submission time as a Unix-second timestamp.
+	CreatedUnix int64 `json:"created_unix,omitempty"`
+	// StartedUnix is when the job left the queue (0 = not yet).
+	StartedUnix int64 `json:"started_unix,omitempty"`
+	// FinishedUnix is when the job reached a terminal state (0 = not yet).
 	FinishedUnix int64 `json:"finished_unix,omitempty"`
 	// Error is set when State is failed or cancelled.
 	Error *Error `json:"error,omitempty"`
@@ -136,17 +140,20 @@ func (j *Job) Terminal() bool {
 // item; the cache fields split settled items by where their result came
 // from, so Simulated = Done - CacheHits - StoreHits - Coalesced.
 type JobProgress struct {
-	// Done and Total count items; Errors counts items that settled with
-	// a per-item error (e.g. infeasible sweep points).
-	Done   int `json:"done"`
-	Total  int `json:"total"`
+	// Done counts every settled item.
+	Done int `json:"done"`
+	// Total is the job's item count.
+	Total int `json:"total"`
+	// Errors counts items that settled with a per-item error (e.g.
+	// infeasible sweep points).
 	Errors int `json:"errors,omitempty"`
-	// CacheHits counts items served from the in-memory result cache,
-	// StoreHits items replayed from the persistent store (the resume
-	// path), Coalesced items that waited on an identical in-flight
-	// computation.
+	// CacheHits counts items served from the in-memory result cache.
 	CacheHits int `json:"cache_hits,omitempty"`
+	// StoreHits counts items replayed from the persistent store (the
+	// resume path).
 	StoreHits int `json:"store_hits,omitempty"`
+	// Coalesced counts items that waited on an identical in-flight
+	// computation.
 	Coalesced int `json:"coalesced,omitempty"`
 	// Current describes what the job is doing right now — notably the
 	// warm prefix being computed ("warm@20000 group ab12cd34"), the
@@ -156,16 +163,20 @@ type JobProgress struct {
 
 // JobStats is the engine half of the /metrics snapshot.
 type JobStats struct {
-	// Submitted counts jobs accepted this process; Resumed those
-	// re-entered from a previous process's data directory.
+	// Submitted counts jobs accepted this process.
 	Submitted int64 `json:"submitted"`
-	Resumed   int64 `json:"resumed"`
-	// Queued and Active are current states; Done/Failed/Cancelled count
-	// terminal transitions this process.
-	Queued    int   `json:"queued"`
-	Active    int   `json:"active"`
-	Done      int64 `json:"done"`
-	Failed    int64 `json:"failed"`
+	// Resumed counts jobs re-entered from a previous process's data
+	// directory.
+	Resumed int64 `json:"resumed"`
+	// Queued is the number of jobs currently waiting.
+	Queued int `json:"queued"`
+	// Active is the number of jobs currently executing.
+	Active int `json:"active"`
+	// Done counts successful terminal transitions this process.
+	Done int64 `json:"done"`
+	// Failed counts failed terminal transitions this process.
+	Failed int64 `json:"failed"`
+	// Cancelled counts cancelled terminal transitions this process.
 	Cancelled int64 `json:"cancelled"`
 }
 
@@ -189,6 +200,8 @@ const (
 // object (a Job for state/done events, a JobItemEvent for item events,
 // a raw probe NDJSON record for probe events).
 type JobEvent struct {
+	// Type is the SSE event name (EventState, EventItem, EventProbe,
+	// EventDone).
 	Type string
 	// Job is decoded for EventState/EventDone events.
 	Job *Job
@@ -201,15 +214,17 @@ type JobEvent struct {
 
 // JobItemEvent is the data payload of an EventItem event.
 type JobItemEvent struct {
-	// Index is the item's position in the job; Key its canonical result
-	// key in the store.
-	Index int    `json:"index"`
-	Key   string `json:"key"`
-	// Status is the item's HTTP-equivalent status; Cache where the
-	// result came from ("miss", "hit", "stored", "coalesced").
-	Status int    `json:"status"`
-	Cache  string `json:"cache"`
-	// Done/Total snapshot the job's progress after this item settled.
-	Done  int `json:"done"`
+	// Index is the item's position in the job.
+	Index int `json:"index"`
+	// Key is the item's canonical result key in the store.
+	Key string `json:"key"`
+	// Status is the item's HTTP-equivalent status.
+	Status int `json:"status"`
+	// Cache says where the result came from ("miss", "hit", "stored",
+	// "coalesced").
+	Cache string `json:"cache"`
+	// Done snapshots the job's settled-item count after this item.
+	Done int `json:"done"`
+	// Total is the job's item count.
 	Total int `json:"total"`
 }

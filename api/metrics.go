@@ -9,41 +9,59 @@ import (
 // inclusive upper bound in seconds ("+Inf" is encoded on the last
 // bucket's Infinite flag to stay valid JSON).
 type HistogramBucket struct {
-	LE       float64 `json:"le,omitempty"`
-	Infinite bool    `json:"infinite,omitempty"`
-	Count    int64   `json:"count"`
+	// LE is the bucket's inclusive upper bound in seconds.
+	LE float64 `json:"le,omitempty"`
+	// Infinite marks the unbounded last bucket ("+Inf").
+	Infinite bool `json:"infinite,omitempty"`
+	// Count is the number of observations at or below LE.
+	Count int64 `json:"count"`
 }
 
 // HistogramSnapshot is the JSON form of the sim-seconds histogram.
 type HistogramSnapshot struct {
-	Count   int64             `json:"count"`
-	SumSecs float64           `json:"sum_seconds"`
+	// Count is the total number of observations.
+	Count int64 `json:"count"`
+	// SumSecs is the sum of all observed durations in seconds.
+	SumSecs float64 `json:"sum_seconds"`
+	// Buckets are the cumulative histogram buckets, smallest bound first.
 	Buckets []HistogramBucket `json:"buckets"`
 }
 
 // Snapshot is the GET /metrics response schema.
 type Snapshot struct {
+	// UptimeSeconds is the time since the server started.
 	UptimeSeconds float64 `json:"uptime_seconds"`
 
-	// Request counts by endpoint, plus outcome counters. Rejected is
-	// the 429 backpressure count; Timeouts the 504 deadline count.
-	RunRequests        int64 `json:"run_requests"`
-	BatchRequests      int64 `json:"batch_requests"`
+	// RunRequests counts POST /v1/run requests.
+	RunRequests int64 `json:"run_requests"`
+	// BatchRequests counts POST /v1/batch requests.
+	BatchRequests int64 `json:"batch_requests"`
+	// ExperimentRequests counts POST /v1/experiment requests.
 	ExperimentRequests int64 `json:"experiment_requests"`
-	JobRequests        int64 `json:"job_requests"`
-	Rejected           int64 `json:"rejected"`
-	ClientErrors       int64 `json:"client_errors"`
-	ServerErrors       int64 `json:"server_errors"`
-	Timeouts           int64 `json:"timeouts"`
+	// JobRequests counts requests to the /v1/jobs endpoints.
+	JobRequests int64 `json:"job_requests"`
+	// Rejected is the 429 backpressure count.
+	Rejected int64 `json:"rejected"`
+	// ClientErrors counts 4xx responses.
+	ClientErrors int64 `json:"client_errors"`
+	// ServerErrors counts 5xx responses.
+	ServerErrors int64 `json:"server_errors"`
+	// Timeouts is the 504 deadline count.
+	Timeouts int64 `json:"timeouts"`
 
-	// Result-cache effectiveness. Coalesced counts requests that waited
-	// on an identical in-flight computation instead of simulating.
-	CacheHits     int64   `json:"cache_hits"`
-	CacheMisses   int64   `json:"cache_misses"`
+	// CacheHits counts requests answered from the result cache.
+	CacheHits int64 `json:"cache_hits"`
+	// CacheMisses counts requests that had to simulate.
+	CacheMisses int64 `json:"cache_misses"`
+	// CacheHitRatio is hits / (hits + misses).
 	CacheHitRatio float64 `json:"cache_hit_ratio"`
-	CacheEntries  int     `json:"cache_entries"`
-	CacheBytes    int64   `json:"cache_bytes"`
-	Coalesced     int64   `json:"coalesced"`
+	// CacheEntries is the number of cached response bodies.
+	CacheEntries int `json:"cache_entries"`
+	// CacheBytes is the cache's total body size.
+	CacheBytes int64 `json:"cache_bytes"`
+	// Coalesced counts requests that waited on an identical in-flight
+	// computation instead of simulating.
+	Coalesced int64 `json:"coalesced"`
 
 	// Store is the persistent result store underneath the in-memory
 	// cache (zero-valued when the server runs without -data-dir).
@@ -52,18 +70,21 @@ type Snapshot struct {
 	// Jobs is the async job engine's accounting.
 	Jobs JobStats `json:"jobs"`
 
-	// Admission state: queue depth and in-flight holders of the gate.
+	// QueueDepth is the number of requests waiting on the admission gate.
 	QueueDepth int `json:"queue_depth"`
-	InFlight   int `json:"in_flight"`
-	Workers    int `json:"workers"`
+	// InFlight is the number of requests currently holding the gate.
+	InFlight int `json:"in_flight"`
+	// Workers is the simulation worker-pool size.
+	Workers int `json:"workers"`
 
-	// SimRuns counts simulations actually executed (misses that ran);
-	// SimSeconds is their wall-time histogram.
-	SimRuns    int64             `json:"sim_runs"`
+	// SimRuns counts simulations actually executed (misses that ran).
+	SimRuns int64 `json:"sim_runs"`
+	// SimSeconds is the wall-time histogram of those runs.
 	SimSeconds HistogramSnapshot `json:"sim_seconds"`
 
 	// TraceCache is the process-wide trace cache underneath the result
 	// cache (see internal/workloads).
-	TraceCache         workloads.TraceCacheStats `json:"trace_cache"`
-	TraceCacheHitRatio float64                   `json:"trace_cache_hit_ratio"`
+	TraceCache workloads.TraceCacheStats `json:"trace_cache"`
+	// TraceCacheHitRatio is the trace cache's hit ratio.
+	TraceCacheHitRatio float64 `json:"trace_cache_hit_ratio"`
 }

@@ -9,6 +9,7 @@
 //
 //	smprof -kernel needle                        # baseline partitioned run
 //	smprof -kernel bfs -design unified -total 384
+//	smprof -streams needle+matrixmul             # multi-tenant mix with per-stream stalls
 //	smprof -kernel dgemm -interval 2048          # finer phase sampling
 //	smprof -kernel needle -ndjson needle.ndjson  # raw profile to a file
 //	smprof -kernel needle -ndjson -              # raw profile to stdout
@@ -20,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/config"
 	"repro/internal/core"
@@ -42,6 +44,7 @@ func main() {
 		interval   = flag.Int64("interval", 0, "sampling interval in cycles (0 = default)")
 		ndjson     = flag.String("ndjson", "", "stream the raw NDJSON profile to this file (\"-\" = stdout)")
 		schedName  = flag.String("sched", "", "warp scheduler: twolevel (default) | gto")
+		streamSpec = flag.String("streams", "", "profile several kernels co-resident on one SM, \"+\"-joined (e.g. needle+matrixmul)")
 		list       = flag.Bool("list", false, "list benchmarks and exit")
 	)
 	flag.Parse()
@@ -60,14 +63,36 @@ func main() {
 		fmt.Print(t)
 		return
 	}
-	if *kernelName == "" {
+	var streamNames []string
+	if *streamSpec != "" {
+		if *kernelName != "" {
+			fmt.Fprintln(os.Stderr, "smprof: -kernel and -streams are mutually exclusive")
+			os.Exit(2)
+		}
+		streamNames = strings.Split(*streamSpec, "+")
+		if len(streamNames) < 2 {
+			fmt.Fprintf(os.Stderr, "smprof: -streams wants at least two \"+\"-joined kernels, got %q\n", *streamSpec)
+			os.Exit(2)
+		}
+	} else if *kernelName == "" {
 		fmt.Fprintln(os.Stderr, "smprof: -kernel is required (try -list)")
 		os.Exit(2)
 	}
-	k, err := workloads.ByName(*kernelName)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "smprof:", err)
-		os.Exit(2)
+	// One requirements slice covers both forms: the multi allocators
+	// delegate to the single-kernel ones for a one-entry mix.
+	names := streamNames
+	if len(names) == 0 {
+		names = []string{*kernelName}
+	}
+	reqs := make([]config.KernelRequirements, len(names))
+	for i, name := range names {
+		k, err := workloads.ByName(strings.TrimSpace(name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smprof:", err)
+			os.Exit(2)
+		}
+		names[i] = k.Name
+		reqs[i] = k.Requirements()
 	}
 
 	var cfg config.MemConfig
@@ -81,13 +106,13 @@ func main() {
 			MaxThreads:  *threads,
 		}
 	case "unified":
-		cfg, err = config.Allocate(k.Requirements(), *totalKB<<10, *threads)
+		cfg, err = config.AllocateMulti(reqs, *totalKB<<10, *threads)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "smprof:", err)
 			os.Exit(1)
 		}
 	case "fermi":
-		cfg = config.ChooseFermi(k.Requirements(), *totalKB<<10-config.BaselineRFBytes, *threads)
+		cfg = config.ChooseFermiMulti(reqs, *totalKB<<10-config.BaselineRFBytes, *threads)
 	default:
 		fmt.Fprintf(os.Stderr, "smprof: unknown design %q\n", *design)
 		os.Exit(2)
@@ -112,6 +137,7 @@ func main() {
 	runner.Params.Scheduler = policy
 	pr, err := harness.Profile(runner, harness.ProfileSpec{
 		Kernel:         *kernelName,
+		Streams:        streamNames,
 		Config:         cfg,
 		RegsPerThread:  *regs,
 		IntervalCycles: *interval,

@@ -9,6 +9,8 @@
 //	smsim -kernel needle -design unified         # §4.5-allocated unified run
 //	smsim -kernel dgemm -rf 128 -shm 64 -cache 64 -regs 24
 //	smsim -kernel bfs -sched gto                 # greedy-then-oldest scheduler
+//	smsim -streams needle+matrixmul              # two kernels co-resident (multi-tenant)
+//	smsim -streams bfs+nn -design unified        # jointly allocated unified mix
 //	smsim -list                                  # show all benchmarks
 package main
 
@@ -17,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/config"
 	"repro/internal/core"
@@ -72,6 +75,7 @@ func main() {
 		traceFile   = flag.String("trace", "", "replay a recorded trace file instead of a registry kernel")
 		resident    = flag.Int("resident", 4, "resident CTAs when replaying a trace (-trace)")
 		schedName   = flag.String("sched", "", "warp scheduler: twolevel (default) | gto")
+		streams     = flag.String("streams", "", "run several kernels co-resident on one SM, \"+\"-joined (e.g. needle+matrixmul)")
 		list        = flag.Bool("list", false, "list benchmarks and exit")
 	)
 	prof := profiling.AddFlags(flag.CommandLine)
@@ -118,6 +122,57 @@ func main() {
 			CacheBytes:  *cacheKB << 10,
 			MaxThreads:  *threads,
 		}, params, *resident)
+		return
+	}
+	if *streams != "" {
+		kernels, err := parseStreams(*streams)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smsim:", err)
+			os.Exit(2)
+		}
+		reqs := make([]config.KernelRequirements, len(kernels))
+		for i, k := range kernels {
+			reqs[i] = k.Requirements()
+		}
+		r := core.NewRunner()
+		r.Params.Scheduler = policy
+		var cfg config.MemConfig
+		if *machineFile != "" {
+			mcfg, params, eparams, err := machine.Load(*machineFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "smsim:", err)
+				os.Exit(1)
+			}
+			cfg = mcfg
+			r.Params = params
+			if *schedName != "" {
+				r.Params.Scheduler = policy
+			}
+			r.Energy.P = eparams
+		} else {
+			switch *design {
+			case "partitioned":
+				cfg = config.MemConfig{
+					Design:      config.Partitioned,
+					RFBytes:     *rfKB << 10,
+					SharedBytes: *shmKB << 10,
+					CacheBytes:  *cacheKB << 10,
+					MaxThreads:  *threads,
+				}
+			case "unified":
+				cfg, err = config.AllocateMulti(reqs, *totalKB<<10, *threads)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "smsim:", err)
+					os.Exit(1)
+				}
+			case "fermi":
+				cfg = config.ChooseFermiMulti(reqs, *totalKB<<10-config.BaselineRFBytes, *threads)
+			default:
+				fmt.Fprintf(os.Stderr, "smsim: unknown design %q\n", *design)
+				os.Exit(2)
+			}
+		}
+		runStreamsAndReport(r, kernels, cfg)
 		return
 	}
 	if *kernelName == "" {
@@ -171,6 +226,80 @@ func main() {
 	r := core.NewRunner()
 	r.Params.Scheduler = policy
 	runAndReport(r, k, cfg, *regs)
+}
+
+// parseStreams resolves a "+"-joined kernel list ("needle+matrixmul")
+// against the registry. At least two names make a multi-tenant mix.
+func parseStreams(spec string) ([]*workloads.Kernel, error) {
+	names := strings.Split(spec, "+")
+	if len(names) < 2 {
+		return nil, fmt.Errorf("-streams wants at least two \"+\"-joined kernels, got %q", spec)
+	}
+	kernels := make([]*workloads.Kernel, len(names))
+	for i, name := range names {
+		k, err := workloads.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		kernels[i] = k
+	}
+	return kernels, nil
+}
+
+// runStreamsAndReport executes a multi-tenant mix and prints the joint
+// report plus the per-stream attribution table.
+func runStreamsAndReport(r *core.Runner, kernels []*workloads.Kernel, cfg config.MemConfig) {
+	specs := make([]core.StreamSpec, len(kernels))
+	for i, k := range kernels {
+		specs[i] = core.StreamSpec{Kernel: k}
+	}
+	res, err := r.Run(core.RunSpec{Config: cfg, Streams: specs})
+	var fit *core.FitError
+	if errors.As(err, &fit) {
+		fmt.Fprintf(os.Stderr, "smsim: %s cannot achieve co-residency of one CTA under %v: the binding resource is %v\n",
+			fit.Kernel, fit.Config, fit.Limiter)
+		fmt.Fprintln(os.Stderr, "smsim: raise that capacity (-rf/-shm/-cache/-total), raise -threads, or drop a stream")
+		os.Exit(1)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smsim:", err)
+		os.Exit(1)
+	}
+
+	c := res.Counters
+	fmt.Printf("%s (%d streams co-resident)\n", core.StreamNames(res.Spec.Streams), len(kernels))
+	fmt.Printf("configuration: %v  threads=%d (%d CTAs jointly resident)\n",
+		cfg, res.Occupancy.Threads, res.Occupancy.CTAs)
+	fmt.Println()
+
+	joint := report.NewTable("Joint execution",
+		"cycles", "warp insts", "IPC", "cache hit", "dram read", "dram write")
+	joint.AddRow(fmt.Sprint(c.Cycles), fmt.Sprint(c.WarpInsts),
+		fmt.Sprintf("%.3f", c.IPC()), report.Percent(c.CacheHitRate()),
+		fmt.Sprintf("%d B", c.DRAMReadBytes), fmt.Sprintf("%d B", c.DRAMWriteBytes))
+	fmt.Print(joint)
+	fmt.Println()
+
+	per := report.NewTable("Per-stream attribution (counters sum exactly to the joint run)",
+		"stream", "CTAs", "threads", "limiter", "cycles", "warp insts", "IPC", "cache hit", "dram bytes")
+	for _, st := range res.Streams {
+		sc := st.Counters
+		per.AddRow(st.Kernel, fmt.Sprint(st.Occupancy.CTAs), fmt.Sprint(st.Occupancy.Threads),
+			fmt.Sprint(st.Occupancy.Limiter), fmt.Sprint(sc.Cycles), fmt.Sprint(sc.WarpInsts),
+			fmt.Sprintf("%.3f", sc.IPC()), report.Percent(sc.CacheHitRate()),
+			fmt.Sprint(sc.DRAMBytes()))
+	}
+	fmt.Print(per)
+	fmt.Println()
+
+	e := res.Energy
+	en := report.NewTable("Energy (J, joint run)",
+		"MRF", "ORF+LRF", "shared", "cache+tags", "other dyn", "leakage", "DRAM", "total")
+	en.AddRow(fmt.Sprintf("%.2e", e.MRF), fmt.Sprintf("%.2e", e.ORF+e.LRF),
+		fmt.Sprintf("%.2e", e.Shared), fmt.Sprintf("%.2e", e.Cache+e.Tags),
+		fmt.Sprintf("%.2e", e.Other), fmt.Sprintf("%.2e", e.Leak),
+		fmt.Sprintf("%.2e", e.DRAM), fmt.Sprintf("%.2e", e.Total()))
+	fmt.Print(en)
 }
 
 // runAndReport executes the kernel and prints the full report.

@@ -2,6 +2,7 @@ package repro_test
 
 import (
 	"fmt"
+	"go/ast"
 	"go/parser"
 	"go/token"
 	"os"
@@ -145,6 +146,57 @@ func TestREADMEInventoryComplete(t *testing.T) {
 		if _, err := os.Stat(filepath.Join("internal", m[1])); err != nil {
 			t.Errorf("README names internal/%s which does not exist", m[1])
 		}
+	}
+}
+
+// TestAPIFieldsDocumented gates the public wire surface: every exported
+// field of every exported struct in the root api package must carry a
+// doc comment. Clients read these types instead of protocol docs, so a
+// bare field is an undocumented protocol extension.
+func TestAPIFieldsDocumented(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, "api", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || !ts.Name.IsExported() {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						for _, name := range field.Names {
+							if !name.IsExported() {
+								continue
+							}
+							checked++
+							if field.Doc == nil || strings.TrimSpace(field.Doc.Text()) == "" {
+								pos := fset.Position(name.Pos())
+								t.Errorf("%s: api.%s.%s has no doc comment",
+									pos, ts.Name.Name, name.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no api struct fields found; did the package move?")
 	}
 }
 

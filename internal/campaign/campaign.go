@@ -37,8 +37,12 @@ type Workload struct {
 	// Name and BF are the RunRequest fields addressing the kernel.
 	Name string
 	BF   int
-	// Kernel is the resolved registry entry.
+	// Kernel is the resolved registry entry (nil for a mix).
 	Kernel *workloads.Kernel
+	// Streams holds the members of a multi-tenant mix workload
+	// ("needle+matrixmul"): two or more single-kernel workloads that run
+	// co-resident on one SM. Nil for single-kernel workloads.
+	Streams []Workload
 }
 
 // tableSpec is a resolved CompareTable: indices instead of names.
@@ -73,8 +77,24 @@ var workloadAliases = map[string]func() []*workloads.Kernel{
 }
 
 // parseWorkload resolves one workload entry: a set alias, a kernel
-// name, or "needle@BF".
+// name, "needle@BF", or a "+"-joined multi-tenant mix of those
+// ("needle+matrixmul", "needle@64+bfs") — the same spelling the
+// -streams CLI flags take.
 func parseWorkload(entry string) ([]Workload, error) {
+	if parts := strings.Split(entry, "+"); len(parts) > 1 {
+		mix := Workload{Label: entry}
+		for _, part := range parts {
+			ws, err := parseWorkload(strings.TrimSpace(part))
+			if err != nil {
+				return nil, err
+			}
+			if len(ws) != 1 || ws[0].Streams != nil {
+				return nil, fmt.Errorf("workload %q: mix members must be single kernels, not aliases or mixes", entry)
+			}
+			mix.Streams = append(mix.Streams, ws[0])
+		}
+		return []Workload{mix}, nil
+	}
 	if expand, ok := workloadAliases[entry]; ok {
 		ks := expand()
 		out := make([]Workload, len(ks))
@@ -226,19 +246,28 @@ func New(spec api.CompareRequest) (*Campaign, error) {
 		c.tables = append(c.tables, resolved)
 	}
 
-	// Compile the machine-major run matrix.
+	// Compile the machine-major run matrix. A mix compiles to the
+	// streams form; the campaign seed then rides on every stream (the
+	// top-level seed field is mutually exclusive with streams).
 	c.Runs = make([]api.RunRequest, 0, len(spec.Machines)*len(c.Workloads))
 	for _, m := range spec.Machines {
 		for _, w := range c.Workloads {
-			c.Runs = append(c.Runs, api.RunRequest{
-				Kernel:       w.Name,
-				BF:           w.BF,
+			rr := api.RunRequest{
 				Machine:      m.Machine,
 				AllocTotalKB: m.AllocTotalKB,
 				FermiTotalKB: m.FermiTotalKB,
-				Seed:         spec.Seed,
 				TimeoutMS:    spec.TimeoutMS,
-			})
+			}
+			if len(w.Streams) > 0 {
+				for _, member := range w.Streams {
+					rr.Streams = append(rr.Streams, api.StreamRequest{
+						Kernel: member.Name, BF: member.BF, Seed: spec.Seed,
+					})
+				}
+			} else {
+				rr.Kernel, rr.BF, rr.Seed = w.Name, w.BF, spec.Seed
+			}
+			c.Runs = append(c.Runs, rr)
 		}
 	}
 	return c, nil

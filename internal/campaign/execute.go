@@ -13,7 +13,6 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/sm"
 	"repro/internal/stats"
-	"repro/internal/workloads"
 )
 
 // fermiRFBytes is the Fermi-like design's fixed register file.
@@ -100,8 +99,10 @@ func (rc *runnerCache) get(p sm.Params, e energy.Params) (*core.Runner, error) {
 
 // resolveConfig derives a cell's memory configuration from its request,
 // mirroring the service's resolve step: the machine description first,
-// then the §4.5 allocation or Fermi-like preset override.
-func resolveConfig(k *workloads.Kernel, rr api.RunRequest) (config.MemConfig, sm.Params, energy.Params, error) {
+// then the §4.5 allocation or Fermi-like preset override. reqs carries
+// one entry per kernel of the cell — a multi-tenant mix allocates
+// jointly, exactly as the service's streams path does.
+func resolveConfig(reqs []config.KernelRequirements, rr api.RunRequest) (config.MemConfig, sm.Params, energy.Params, error) {
 	cfg, params, eparams, err := rr.Machine.Resolve()
 	if err != nil {
 		return cfg, params, eparams, err
@@ -110,7 +111,7 @@ func resolveConfig(k *workloads.Kernel, rr api.RunRequest) (config.MemConfig, sm
 		return cfg, params, eparams, fmt.Errorf("at most one of alloc_total_kb and fermi_total_kb")
 	}
 	if rr.AllocTotalKB > 0 {
-		cfg, err = config.Allocate(k.Requirements(), rr.AllocTotalKB<<10, rr.Machine.MaxThreads)
+		cfg, err = config.AllocateMulti(reqs, rr.AllocTotalKB<<10, rr.Machine.MaxThreads)
 		if err != nil {
 			return cfg, params, eparams, err
 		}
@@ -120,7 +121,7 @@ func resolveConfig(k *workloads.Kernel, rr api.RunRequest) (config.MemConfig, sm
 			return cfg, params, eparams, fmt.Errorf(
 				"fermi_total_kb must exceed the fixed %dKB register file", fermiRFBytes>>10)
 		}
-		cfg = config.ChooseFermi(k.Requirements(), rr.FermiTotalKB<<10-fermiRFBytes, rr.Machine.MaxThreads)
+		cfg = config.ChooseFermiMulti(reqs, rr.FermiTotalKB<<10-fermiRFBytes, rr.Machine.MaxThreads)
 	}
 	return cfg, params, eparams, nil
 }
@@ -145,31 +146,44 @@ func (c *Campaign) Execute() (*Result, error) {
 	rc := &runnerCache{}
 	flat, err := parallel.Map(len(c.Runs), func(i int) (Outcome, error) {
 		rr := c.Runs[i]
-		k, err := kernelFor(rr.Kernel, rr.BF)
-		if err != nil {
-			return Outcome{}, err
+		label := c.Workloads[i%len(c.Workloads)].Label
+		machineName := c.Spec.Machines[i/len(c.Workloads)].Name
+		spec := core.RunSpec{RegsPerThread: rr.RegsPerThread, Seed: rr.Seed}
+		var reqs []config.KernelRequirements
+		if len(rr.Streams) > 0 {
+			for _, sr := range rr.Streams {
+				k, err := kernelFor(sr.Kernel, sr.BF)
+				if err != nil {
+					return Outcome{}, err
+				}
+				spec.Streams = append(spec.Streams, core.StreamSpec{
+					Kernel: k, RegsPerThread: sr.RegsPerThread, Seed: sr.Seed,
+				})
+				reqs = append(reqs, k.Requirements())
+			}
+		} else {
+			k, err := kernelFor(rr.Kernel, rr.BF)
+			if err != nil {
+				return Outcome{}, err
+			}
+			spec.Kernel = k
+			reqs = []config.KernelRequirements{k.Requirements()}
 		}
-		cfg, params, eparams, err := resolveConfig(k, rr)
+		cfg, params, eparams, err := resolveConfig(reqs, rr)
 		if err != nil {
-			return Outcome{}, fmt.Errorf("%s under %s: %w",
-				k.Name, c.Spec.Machines[i/len(c.Workloads)].Name, err)
+			return Outcome{}, fmt.Errorf("%s under %s: %w", label, machineName, err)
 		}
+		spec.Config = cfg
 		r, err := rc.get(params, eparams)
 		if err != nil {
 			return Outcome{}, err
 		}
-		res, err := r.Run(core.RunSpec{
-			Kernel:        k,
-			Config:        cfg,
-			RegsPerThread: rr.RegsPerThread,
-			Seed:          rr.Seed,
-		})
+		res, err := r.Run(spec)
 		if core.IsInfeasible(err) {
 			return Outcome{Infeasible: true}, nil
 		}
 		if err != nil {
-			return Outcome{}, fmt.Errorf("%s under %s: %w",
-				k.Name, c.Spec.Machines[i/len(c.Workloads)].Name, err)
+			return Outcome{}, fmt.Errorf("%s under %s: %w", label, machineName, err)
 		}
 		return outcomeOf(configInfo(cfg), res.Occupancy.Threads, res.Counters, res.Energy.Total()), nil
 	})

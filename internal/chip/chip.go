@@ -56,6 +56,9 @@ type Result struct {
 	DRAMReadBytes, DRAMWriteBytes int64
 	// OutOfOrder is the shared system's timestamp-ordering diagnostic.
 	OutOfOrder int64
+	// PerSMKernel names each SM's kernel on concurrent-kernel chips
+	// (NewMulti); nil for single-kernel chips.
+	PerSMKernel []string
 }
 
 // TraceSource mirrors sm.TraceSource.
@@ -81,6 +84,9 @@ type Chip struct {
 	cfg Config
 	sms []*sm.SM
 	mem *dram.System
+	// names labels each SM's kernel on concurrent-kernel chips
+	// (NewMulti); nil for single-kernel chips.
+	names []string
 }
 
 // New builds a chip running the grid of src under memCfg on every SM.
@@ -116,6 +122,64 @@ func New(cfg Config, memCfg config.MemConfig, params sm.Params, src TraceSource,
 	return c, nil
 }
 
+// MultiKernel is one kernel of a chip-level concurrent-kernel run.
+type MultiKernel struct {
+	// Name labels the kernel in results.
+	Name string
+	// Source supplies the kernel's grid.
+	Source TraceSource
+	// ResidentCTAs is the kernel's per-SM CTA residency.
+	ResidentCTAs int
+}
+
+// NewMulti builds a chip running several kernels concurrently by
+// partitioning the SMs among them — the work distributor's
+// concurrent-kernel scheduling on real chips. Kernel j owns SMs j,
+// j+K, j+2K, ...; its grid is dealt round-robin across its own SM
+// subset exactly the way New deals a single grid across the whole
+// chip. All kernels share the channel-interleaved DRAM system, so
+// co-tenants contend in memory even though they never share an SM.
+func NewMulti(cfg Config, memCfg config.MemConfig, params sm.Params, kernels []MultiKernel) (*Chip, error) {
+	if len(kernels) == 0 {
+		return nil, fmt.Errorf("chip: need at least one kernel")
+	}
+	if cfg.NumSMs < len(kernels) {
+		return nil, fmt.Errorf("chip: %d SMs cannot host %d concurrent kernels", cfg.NumSMs, len(kernels))
+	}
+	if cfg.Mem.Channels == 0 {
+		cfg.Mem = dram.DefaultSystemConfig(cfg.NumSMs)
+	}
+	c := &Chip{cfg: cfg, mem: dram.NewSystem(cfg.Mem)}
+	k := len(kernels)
+	for i := 0; i < cfg.NumSMs; i++ {
+		mk := kernels[i%k]
+		// This SM is member m of its kernel's subset of size n.
+		m, n := i/k, cfg.NumSMs/k
+		if i%k < cfg.NumSMs%k {
+			n++
+		}
+		totalCTAs, warps := mk.Source.Grid()
+		if totalCTAs < n {
+			return nil, fmt.Errorf("chip: %s grid of %d CTAs cannot feed its %d SMs", mk.Name, totalCTAs, n)
+		}
+		share := totalCTAs / n
+		if m < totalCTAs%n {
+			share++
+		}
+		shard := &shardSource{src: mk.Source, smIndex: m, nSM: n, ctas: share, warps: warps}
+		machine, err := sm.NewSM(sm.Spec{
+			Config: memCfg, Params: params, Source: shard,
+			ResidentCTAs: mk.ResidentCTAs, Memory: c.mem,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("chip: SM %d (%s): %w", i, mk.Name, err)
+		}
+		c.sms = append(c.sms, machine)
+		c.names = append(c.names, mk.Name)
+	}
+	return c, nil
+}
+
 // Run executes all SMs to completion in conservative global-time order.
 func (c *Chip) Run() (*Result, error) {
 	for i, m := range c.sms {
@@ -147,6 +211,7 @@ func (c *Chip) Run() (*Result, error) {
 		DRAMReadBytes:  c.mem.ReadBytes(),
 		DRAMWriteBytes: c.mem.WriteBytes(),
 		OutOfOrder:     c.mem.OutOfOrder(),
+		PerSMKernel:    c.names,
 	}
 	for _, m := range c.sms {
 		counters := m.Finish()

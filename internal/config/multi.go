@@ -1,0 +1,127 @@
+package config
+
+import (
+	"errors"
+	"fmt"
+)
+
+// AllocateMulti extends the Section 4.5 automatic partitioning to a set
+// of co-resident kernels sharing one unified memory of totalBytes. CTAs
+// are admitted greedily round-robin — each round offers every kernel,
+// in index order, one more CTA under the joint thread and capacity
+// budgets — so the split reflects the same interleaving the dispatcher
+// uses for CTA slots. Register file and shared memory are sized to the
+// admitted footprints, and all remaining storage becomes primary data
+// cache (rounded down to whole cache sets, as in Allocate).
+//
+// Every kernel must admit at least one CTA alongside its co-tenants;
+// otherwise AllocateMulti fails with ErrDoesNotFit. threadCap, if
+// non-zero, bounds the joint resident-thread count.
+func AllocateMulti(reqs []KernelRequirements, totalBytes, threadCap int) (MemConfig, error) {
+	if len(reqs) == 0 {
+		return MemConfig{}, errors.New("config: no kernels to allocate for")
+	}
+	if len(reqs) == 1 {
+		return Allocate(reqs[0], totalBytes, threadCap)
+	}
+	for i, req := range reqs {
+		if req.ThreadsPerCTA <= 0 {
+			return MemConfig{}, fmt.Errorf("config: stream %d: ThreadsPerCTA must be positive", i)
+		}
+		if req.ThreadsPerCTA%32 != 0 {
+			return MemConfig{}, fmt.Errorf("config: stream %d: ThreadsPerCTA %d not a multiple of the warp size", i, req.ThreadsPerCTA)
+		}
+	}
+	limit := MaxThreadsPerSM
+	if threadCap > 0 && threadCap < limit {
+		limit = threadCap
+	}
+	ctas := make([]int, len(reqs))
+	blocked := make([]bool, len(reqs))
+	threads, used := 0, 0
+	for progress := true; progress; {
+		progress = false
+		for i, req := range reqs {
+			if blocked[i] {
+				continue
+			}
+			perCTA := req.BytesPerThread()*req.ThreadsPerCTA + req.SharedBytesPerCTA
+			if threads+req.ThreadsPerCTA > limit || used+perCTA > totalBytes {
+				blocked[i] = true
+				continue
+			}
+			ctas[i]++
+			threads += req.ThreadsPerCTA
+			used += perCTA
+			progress = true
+		}
+	}
+	cfg := MemConfig{Design: Unified, MaxThreads: threads}
+	for i, req := range reqs {
+		if ctas[i] < 1 {
+			return MemConfig{}, fmt.Errorf("config: stream %d does not fit alongside its co-tenants in %d bytes: %w",
+				i, totalBytes, ErrDoesNotFit)
+		}
+		cfg.RFBytes += ctas[i] * req.ThreadsPerCTA * req.BytesPerThread()
+		cfg.SharedBytes += ctas[i] * req.SharedBytesPerCTA
+	}
+	cfg.CacheBytes = totalBytes - cfg.RFBytes - cfg.SharedBytes
+	// Round the cache down to a whole number of sets, as Allocate does.
+	cfg.CacheBytes -= cfg.CacheBytes % (CacheLineBytes * CacheWays)
+	return cfg, nil
+}
+
+// ChooseFermiMulti picks the Fermi-like shared/cache split that admits
+// the most joint resident threads for a set of co-resident kernels,
+// breaking ties toward the larger cache (as ChooseFermi does for one
+// kernel). Residency uses the same round-robin CTA admission as
+// AllocateMulti, under the split's fixed register-file and
+// shared-memory capacities.
+func ChooseFermiMulti(reqs []KernelRequirements, nonRFBytes, threadCap int) MemConfig {
+	if len(reqs) == 1 {
+		return ChooseFermi(reqs[0], nonRFBytes, threadCap)
+	}
+	splits := FermiSplits(nonRFBytes)
+	best := splits[1] // prefer the larger cache on ties
+	if residentThreadsMulti(reqs, splits[0], threadCap) > residentThreadsMulti(reqs, splits[1], threadCap) {
+		best = splits[0]
+	}
+	best.MaxThreads = threadCap
+	return best
+}
+
+// residentThreadsMulti counts joint resident threads for co-resident
+// kernels under a fixed configuration, using round-robin CTA admission.
+func residentThreadsMulti(reqs []KernelRequirements, cfg MemConfig, threadCap int) int {
+	limit := cfg.ThreadLimit()
+	if threadCap > 0 && threadCap < limit {
+		limit = threadCap
+	}
+	blocked := make([]bool, len(reqs))
+	threads, rfUsed, shUsed := 0, 0, 0
+	for i, req := range reqs {
+		if req.ThreadsPerCTA <= 0 {
+			blocked[i] = true
+		}
+	}
+	for progress := true; progress; {
+		progress = false
+		for i, req := range reqs {
+			if blocked[i] {
+				continue
+			}
+			rfPerCTA := req.BytesPerThread() * req.ThreadsPerCTA
+			if threads+req.ThreadsPerCTA > limit ||
+				rfUsed+rfPerCTA > cfg.RFBytes ||
+				shUsed+req.SharedBytesPerCTA > cfg.SharedBytes {
+				blocked[i] = true
+				continue
+			}
+			threads += req.ThreadsPerCTA
+			rfUsed += rfPerCTA
+			shUsed += req.SharedBytesPerCTA
+			progress = true
+		}
+	}
+	return threads
+}

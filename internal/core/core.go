@@ -59,6 +59,11 @@ type RunSpec struct {
 	RegsPerThread int
 	// Seed perturbs per-warp random streams (divergent gathers).
 	Seed uint64
+	// Streams runs several kernels co-resident on one SM (multi-tenant
+	// concurrent-kernel execution) with round-robin CTA-slot
+	// interleaving and per-stream counter attribution. Mutually
+	// exclusive with Kernel/RegsPerThread/Seed; see streams.go.
+	Streams []StreamSpec
 }
 
 // Result is the outcome of one run.
@@ -71,6 +76,9 @@ type Result struct {
 	Counters *stats.Counters
 	// Energy is the Section 5.2 energy breakdown.
 	Energy energy.Breakdown
+	// Streams holds per-stream results for multi-tenant runs
+	// (RunSpec.Streams), in stream order; nil for single-kernel runs.
+	Streams []StreamResult
 }
 
 // Performance returns the run's performance metric (reciprocal runtime;
@@ -171,6 +179,9 @@ func (r *Runner) RunCtx(ctx context.Context, spec RunSpec, opts ...RunOption) (*
 	var o runOptions
 	for _, opt := range opts {
 		opt(&o)
+	}
+	if len(spec.Streams) > 0 {
+		return r.runStreams(ctx, spec, &o)
 	}
 	spec, occ, src, err := r.prepare(spec)
 	if err != nil {

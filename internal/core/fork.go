@@ -42,6 +42,9 @@ type Warm struct {
 // completed run. Infeasible configurations fail with *FitError, like
 // Run.
 func (r *Runner) Warm(ctx context.Context, spec RunSpec, warmCycles int64) (*Warm, error) {
+	if len(spec.Streams) > 0 {
+		return nil, fmt.Errorf("core: multi-tenant streams do not support snapshot/fork (streams are prefix-defining)")
+	}
 	spec, occ, src, err := r.prepare(spec)
 	if err != nil {
 		return nil, err

@@ -90,29 +90,64 @@ type Warp struct {
 // ctaSlot tracks one resident CTA.
 type ctaSlot struct {
 	id        int // grid CTA index, -1 if empty
+	stream    int // owning stream (kernel) index
 	liveWarps int
 	barWaits  int
 	warps     []int // warp slot indices
 }
 
-// Dispatcher launches the grid's CTAs into resident slots, rotates new
-// CTAs in as old ones drain, and resolves barriers.
-type Dispatcher struct {
-	src TraceSource
-	c   *stats.Counters
+// StreamSpec describes one co-resident kernel (stream) of a
+// multi-stream dispatcher: its grid source and the number of CTA slots
+// it holds resident.
+type StreamSpec struct {
+	// Source supplies the stream's kernel grid.
+	Source TraceSource
+	// ResidentCTAs is the number of CTA slots reserved for this stream.
+	ResidentCTAs int
+}
 
-	// outSrc, when non-nil, attaches precomputed bank outcomes to each
-	// launched warp for the configured bank-model variant.
-	outSrc     OutcomeSource
+// streamState is one stream's launch bookkeeping.
+type streamState struct {
+	src TraceSource
+	// outSrc mirrors Dispatcher.outSrc per stream (each stream has its
+	// own trace source and therefore its own outcome memoization).
+	outSrc    OutcomeSource
+	nextCTA   int // next grid CTA of this stream to launch
+	totalCTAs int
+	warpsPer  int
+	liveWarps int
+	// doneAt is the cycle the stream's last warp exited with no grid
+	// CTAs left, -1 while the stream still has work — the stream's own
+	// completion time under co-residency.
+	doneAt int64
+	// mask selects the warp slots owned by this stream's CTA slots.
+	mask uint64
+	// c, when non-nil, receives this stream's share of the launch and
+	// retirement events (ThreadsRun, CTAsRetired, MaxResidentThreads);
+	// the aggregate counters are always charged as well.
+	c *stats.Counters
+}
+
+// Dispatcher launches the grid's CTAs into resident slots, rotates new
+// CTAs in as old ones drain, and resolves barriers. A multi-stream
+// dispatcher (NewMulti) hosts several kernels at once: each CTA slot is
+// pinned to one stream, slots are interleaved round-robin across
+// streams, and a drained slot relaunches the next CTA of its own
+// stream.
+type Dispatcher struct {
+	c *stats.Counters
+
 	design     config.Design
 	aggressive bool
 
-	warps []Warp
-	ctas  []ctaSlot
+	streams []streamState
 
-	nextCTA   int // next grid CTA to launch
-	totalCTAs int
-	warpsPer  int
+	warps []Warp
+	// streamOf maps each warp slot to its owning stream index; the
+	// mapping is structural (slots never change streams).
+	streamOf []int
+	ctas     []ctaSlot
+
 	liveWarps int
 	// readyMask has bit w set iff warp slot w is in the Ready state, so
 	// the scheduler's refill and the timing core's wake scan walk only
@@ -128,7 +163,7 @@ var _ [64 - config.MaxWarpsPerSM]struct{}
 // New builds a dispatcher for the grid of src with residentCTAs
 // concurrent CTA slots. Launch and retirement events are filed into c.
 func New(src TraceSource, residentCTAs int, c *stats.Counters) (*Dispatcher, error) {
-	totalCTAs, warpsPer := src.Grid()
+	_, warpsPer := src.Grid()
 	if residentCTAs < 1 {
 		return nil, fmt.Errorf("dispatch: need at least one resident CTA")
 	}
@@ -139,76 +174,153 @@ func New(src TraceSource, residentCTAs int, c *stats.Counters) (*Dispatcher, err
 		return nil, fmt.Errorf("dispatch: %d resident CTAs of %d warps exceed the %d-warp SM limit",
 			residentCTAs, warpsPer, config.MaxWarpsPerSM)
 	}
-	d := &Dispatcher{
-		src:       src,
-		c:         c,
-		warps:     make([]Warp, residentCTAs*warpsPer),
-		ctas:      make([]ctaSlot, residentCTAs),
-		totalCTAs: totalCTAs,
-		warpsPer:  warpsPer,
+	return NewMulti([]StreamSpec{{Source: src, ResidentCTAs: residentCTAs}}, c, nil)
+}
+
+// NewMulti builds a dispatcher hosting the given streams concurrently.
+// CTA slots are interleaved round-robin across streams (stream 0's
+// first slot, stream 1's first slot, ..., stream 0's second slot, ...),
+// so slot — and therefore warp — indices alternate between streams and
+// index-based tie-breaks (MinReady) stay fair. With one stream the
+// layout is identical to New's. streamCounters, when non-nil, supplies
+// one per-stream counter set charged alongside the aggregate c.
+func NewMulti(specs []StreamSpec, c *stats.Counters, streamCounters []*stats.Counters) (*Dispatcher, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("dispatch: need at least one stream")
 	}
-	for i := range d.ctas {
-		d.ctas[i].id = -1
-		d.ctas[i].warps = make([]int, warpsPer)
-		for w := 0; w < warpsPer; w++ {
-			d.ctas[i].warps[w] = i*warpsPer + w
+	if streamCounters != nil && len(streamCounters) != len(specs) {
+		return nil, fmt.Errorf("dispatch: %d stream counter sets for %d streams", len(streamCounters), len(specs))
+	}
+	d := &Dispatcher{c: c, streams: make([]streamState, len(specs))}
+	totalWarps, maxResident := 0, 0
+	for i, sp := range specs {
+		if sp.Source == nil {
+			return nil, fmt.Errorf("dispatch: stream %d has no trace source", i)
+		}
+		if sp.ResidentCTAs < 1 {
+			return nil, fmt.Errorf("dispatch: stream %d needs at least one resident CTA", i)
+		}
+		totalCTAs, warpsPer := sp.Source.Grid()
+		if warpsPer < 1 {
+			return nil, fmt.Errorf("dispatch: stream %d has no warps per CTA", i)
+		}
+		st := &d.streams[i]
+		st.src = sp.Source
+		st.totalCTAs = totalCTAs
+		st.warpsPer = warpsPer
+		st.doneAt = -1
+		if streamCounters != nil {
+			st.c = streamCounters[i]
+		}
+		totalWarps += sp.ResidentCTAs * warpsPer
+		if sp.ResidentCTAs > maxResident {
+			maxResident = sp.ResidentCTAs
+		}
+	}
+	if totalWarps > config.MaxWarpsPerSM {
+		return nil, fmt.Errorf("dispatch: %d streams need %d warp slots, exceeding the %d-warp SM limit",
+			len(specs), totalWarps, config.MaxWarpsPerSM)
+	}
+	d.warps = make([]Warp, totalWarps)
+	d.streamOf = make([]int, totalWarps)
+	base := 0
+	for round := 0; round < maxResident; round++ {
+		for s, sp := range specs {
+			if round >= sp.ResidentCTAs {
+				continue
+			}
+			warpsPer := d.streams[s].warpsPer
+			slot := ctaSlot{id: -1, stream: s, warps: make([]int, warpsPer)}
+			for w := 0; w < warpsPer; w++ {
+				slot.warps[w] = base + w
+				d.streamOf[base+w] = s
+				d.streams[s].mask |= 1 << uint(base+w)
+			}
+			base += warpsPer
+			d.ctas = append(d.ctas, slot)
 		}
 	}
 	return d, nil
 }
 
 // EnableOutcomes requests precomputed bank outcomes for every launched
-// warp under the given bank-model variant. It reports whether the trace
-// source supports them; it must be called before Start.
+// warp under the given bank-model variant. It reports whether every
+// stream's trace source supports them; it must be called before Start.
 func (d *Dispatcher) EnableOutcomes(design config.Design, aggressive bool) bool {
-	src, ok := d.src.(OutcomeSource)
-	if !ok {
-		return false
+	for i := range d.streams {
+		src, ok := d.streams[i].src.(OutcomeSource)
+		if !ok {
+			for j := 0; j < i; j++ {
+				d.streams[j].outSrc = nil
+			}
+			return false
+		}
+		d.streams[i].outSrc = src
 	}
-	d.outSrc, d.design, d.aggressive = src, design, aggressive
+	d.design, d.aggressive = design, aggressive
 	return true
 }
 
 // Start launches the initial resident CTAs at the given cycle and records
-// the resident-thread high-water mark.
+// the resident-thread high-water mark (aggregate and per stream).
 func (d *Dispatcher) Start(cycle int64) {
 	for slot := range d.ctas {
-		if d.nextCTA < d.totalCTAs {
+		st := &d.streams[d.ctas[slot].stream]
+		if st.nextCTA < st.totalCTAs {
 			d.launch(slot, cycle)
 		}
 	}
 	resident := 0
-	for _, c := range d.ctas {
-		if c.id >= 0 {
-			resident++
+	for i := range d.ctas {
+		c := &d.ctas[i]
+		if c.id < 0 {
+			continue
+		}
+		threads := len(c.warps) * isa.WarpSize
+		resident += threads
+		if sc := d.streams[c.stream].c; sc != nil {
+			sc.MaxResidentThreads += threads
 		}
 	}
-	d.c.MaxResidentThreads = resident * d.warpsPer * isa.WarpSize
+	d.c.MaxResidentThreads = resident
+	// A stream with an empty grid is complete before it begins.
+	for i := range d.streams {
+		st := &d.streams[i]
+		if st.liveWarps == 0 && st.nextCTA >= st.totalCTAs && st.doneAt < 0 {
+			st.doneAt = cycle
+		}
+	}
 }
 
-// launch populates a CTA slot with the next grid CTA; its warps wake at
-// the given cycle.
+// launch populates a CTA slot with its stream's next grid CTA; the
+// warps wake at the given cycle.
 func (d *Dispatcher) launch(slot int, cycle int64) {
 	c := &d.ctas[slot]
-	c.id = d.nextCTA
-	d.nextCTA++
-	c.liveWarps = d.warpsPer
+	st := &d.streams[c.stream]
+	c.id = st.nextCTA
+	st.nextCTA++
+	c.liveWarps = st.warpsPer
 	c.barWaits = 0
 	for i, wIdx := range c.warps {
 		w := &d.warps[wIdx]
 		*w = Warp{
 			Status:  Ready,
 			CTASlot: slot,
-			Trace:   d.src.WarpTrace(c.id, i),
+			Trace:   st.src.WarpTrace(c.id, i),
 			WakeAt:  cycle,
 		}
-		if d.outSrc != nil {
-			w.Outcomes = d.outSrc.WarpOutcomes(c.id, i, d.design, d.aggressive)
+		if st.outSrc != nil {
+			w.Outcomes = st.outSrc.WarpOutcomes(c.id, i, d.design, d.aggressive)
 		}
 		d.liveWarps++
+		st.liveWarps++
 		d.readyMask |= 1 << uint(wIdx)
 	}
-	d.c.ThreadsRun += int64(d.warpsPer) * isa.WarpSize
+	launched := int64(st.warpsPer) * isa.WarpSize
+	d.c.ThreadsRun += launched
+	if st.c != nil {
+		st.c.ThreadsRun += launched
+	}
 }
 
 // Done reports whether every warp of the grid has exited.
@@ -305,30 +417,65 @@ func (d *Dispatcher) release(c *ctaSlot, now int64) {
 	}
 }
 
-// Exit retires warp wIdx and, when its CTA drains, launches the next grid
-// CTA into the freed slot. An exiting warp may also be the last one
-// holding up a barrier (warps that exit early release their CTA-mates).
-// The caller removes the warp from the active set.
+// Exit retires warp wIdx and, when its CTA drains, launches its
+// stream's next grid CTA into the freed slot. An exiting warp may also
+// be the last one holding up a barrier (warps that exit early release
+// their CTA-mates). The caller removes the warp from the active set.
 func (d *Dispatcher) Exit(wIdx int, now int64) {
 	w := &d.warps[wIdx]
 	c := &d.ctas[w.CTASlot]
+	st := &d.streams[c.stream]
 	w.Status = Done
 	w.Trace = nil
 	w.Outcomes = nil
 	d.liveWarps--
+	st.liveWarps--
 	c.liveWarps--
 	if c.liveWarps == 0 {
 		d.c.CTAsRetired++
+		if st.c != nil {
+			st.c.CTAsRetired++
+		}
 		slot := w.CTASlot
 		c.id = -1
-		if d.nextCTA < d.totalCTAs {
+		if st.nextCTA < st.totalCTAs {
 			d.launch(slot, now)
 		}
 	} else if c.barWaits >= c.liveWarps && c.barWaits > 0 {
 		c.barWaits = 0
 		d.release(c, now)
 	}
+	if st.liveWarps == 0 && st.nextCTA >= st.totalCTAs && st.doneAt < 0 {
+		st.doneAt = now
+	}
 }
+
+// NumStreams returns the number of co-resident streams (the
+// sched.StreamPool view); it is 1 for dispatchers built with New.
+func (d *Dispatcher) NumStreams() int { return len(d.streams) }
+
+// Stream returns the stream index owning warp slot w (the
+// sched.StreamPool view). The mapping is structural and never changes.
+func (d *Dispatcher) Stream(w int) int { return d.streamOf[w] }
+
+// MinReadyOf is MinReady restricted to one stream's warp slots (the
+// sched.StreamPool view): the stream's Ready warp with the oldest wake
+// at or before now, lowest slot index breaking ties.
+func (d *Dispatcher) MinReadyOf(now int64, stream int) (w int, ok bool) {
+	best, bestWake := -1, int64(0)
+	for m := d.readyMask & d.streams[stream].mask; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
+		if wake := d.warps[i].WakeAt; wake <= now && (best < 0 || wake < bestWake) {
+			best, bestWake = i, wake
+		}
+	}
+	return best, best >= 0
+}
+
+// StreamDoneAt returns the cycle a stream's last warp exited (its
+// completion time under co-residency), or -1 while it still has live
+// warps or unlaunched CTAs.
+func (d *Dispatcher) StreamDoneAt(stream int) int64 { return d.streams[stream].doneAt }
 
 // Counts returns the number of warps blocked at a barrier and the number
 // awaiting promotion, for the stall classifier.

@@ -35,14 +35,21 @@ type State struct {
 	ReadyMask uint64
 }
 
-// Snapshot captures the dispatcher state as an immutable State.
+// Snapshot captures the dispatcher state as an immutable State. It is
+// defined for single-stream dispatchers only — the stream list is
+// prefix-defining for snapshot/fork, and multi-stream runs refuse
+// capture at the SM layer — and returns nil on a multi-stream
+// dispatcher.
 func (d *Dispatcher) Snapshot() *State {
+	if len(d.streams) != 1 {
+		return nil
+	}
 	st := &State{
 		Warps:     append([]Warp(nil), d.warps...),
 		CTAs:      make([]CTAState, len(d.ctas)),
-		NextCTA:   d.nextCTA,
-		TotalCTAs: d.totalCTAs,
-		WarpsPer:  d.warpsPer,
+		NextCTA:   d.streams[0].nextCTA,
+		TotalCTAs: d.streams[0].totalCTAs,
+		WarpsPer:  d.streams[0].warpsPer,
 		LiveWarps: d.liveWarps,
 		ReadyMask: d.readyMask,
 	}
@@ -63,13 +70,17 @@ func (d *Dispatcher) Snapshot() *State {
 // snapshot taken by an unprobed parent restores correctly into a probed
 // fork and vice versa.
 func (d *Dispatcher) Restore(st *State) error {
+	if len(d.streams) != 1 {
+		return fmt.Errorf("dispatch: multi-stream dispatchers do not restore snapshots (streams are prefix-defining)")
+	}
+	stream := &d.streams[0]
 	if len(st.Warps) != len(d.warps) || len(st.CTAs) != len(d.ctas) {
 		return fmt.Errorf("dispatch: slot shape changed across a snapshot: %d/%d warps, %d/%d CTAs",
 			len(st.Warps), len(d.warps), len(st.CTAs), len(d.ctas))
 	}
-	if st.TotalCTAs != d.totalCTAs || st.WarpsPer != d.warpsPer {
+	if st.TotalCTAs != stream.totalCTAs || st.WarpsPer != stream.warpsPer {
 		return fmt.Errorf("dispatch: grid changed across a snapshot: %dx%d state, %dx%d source",
-			st.TotalCTAs, st.WarpsPer, d.totalCTAs, d.warpsPer)
+			st.TotalCTAs, st.WarpsPer, stream.totalCTAs, stream.warpsPer)
 	}
 	copy(d.warps, st.Warps)
 	for i := range d.ctas {
@@ -77,20 +88,28 @@ func (d *Dispatcher) Restore(st *State) error {
 		d.ctas[i].liveWarps = st.CTAs[i].LiveWarps
 		d.ctas[i].barWaits = st.CTAs[i].BarWaits
 	}
-	d.nextCTA = st.NextCTA
+	stream.nextCTA = st.NextCTA
 	d.liveWarps = st.LiveWarps
+	stream.liveWarps = st.LiveWarps
 	d.readyMask = st.ReadyMask
+	if stream.liveWarps == 0 && stream.nextCTA >= stream.totalCTAs {
+		if stream.doneAt < 0 {
+			stream.doneAt = 0
+		}
+	} else {
+		stream.doneAt = -1
+	}
 	for i := range d.warps {
 		w := &d.warps[i]
 		if w.Status == Done || w.Status == Idle {
 			continue
 		}
-		if d.outSrc == nil {
+		if stream.outSrc == nil {
 			w.Outcomes = nil
 			continue
 		}
 		cta := st.CTAs[w.CTASlot]
-		w.Outcomes = d.outSrc.WarpOutcomes(cta.ID, i%d.warpsPer, d.design, d.aggressive)
+		w.Outcomes = stream.outSrc.WarpOutcomes(cta.ID, i%stream.warpsPer, d.design, d.aggressive)
 	}
 	return nil
 }

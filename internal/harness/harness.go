@@ -18,7 +18,7 @@ import (
 var Experiments = []string{
 	"table1", "figure2", "figure3", "figure4", "table4", "table5",
 	"figure7", "figure8", "figure9", "figure10", "table6", "figure11",
-	"validation", "ablation",
+	"validation", "ablation", "multitenant",
 }
 
 // Run regenerates one experiment by name.
@@ -52,6 +52,8 @@ func Run(r *core.Runner, name string) (*report.Table, error) {
 		return Validation(r)
 	case "ablation":
 		return Ablation(r)
+	case "multitenant":
+		return Multitenant(r)
 	}
 	return nil, fmt.Errorf("harness: unknown experiment %q (have %s)",
 		name, strings.Join(Experiments, ", "))
@@ -315,6 +317,40 @@ func Ablation(r *core.Runner) (*report.Table, error) {
 	for _, row := range rows {
 		t.AddRow(row.Benchmark, fmt.Sprintf("%.4f", row.Speedup),
 			fmt.Sprint(row.ConflictCyclesSimple), fmt.Sprint(row.ConflictCyclesAggressive))
+	}
+	return t, nil
+}
+
+// Multitenant renders the concurrent-kernel co-tenancy study: every
+// adjacent registry pair and quad runs as one multi-tenant mix under
+// the three designs, with the partitioned baseline as the 1.00
+// reference. Unified and Fermi capacities partition the baseline's
+// 384 KB jointly for the whole mix.
+func Multitenant(r *core.Runner) (*report.Table, error) {
+	rows, err := r.Multitenant(core.MultitenantMixes(workloads.All()))
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable(
+		"Multi-tenant co-tenancy: partitioned vs unified (384KB) vs Fermi-like (384KB), joint runs",
+		"mix", "ways", "part cycles", "uni perf (x)", "uni energy (x)", "fermi perf (x)", "fermi energy (x)")
+	cell := func(v float64, infeasible bool) string {
+		if infeasible {
+			return "infeasible"
+		}
+		return report.Ratio(v)
+	}
+	for _, row := range rows {
+		part := fmt.Sprint(row.PartCycles)
+		if row.PartInfeasible {
+			part = "infeasible"
+		}
+		inf := row.PartInfeasible
+		t.AddRow(row.Mix, fmt.Sprint(row.Ways), part,
+			cell(row.UnifiedPerf, inf || row.UnifiedInfeasible),
+			cell(row.UnifiedEnergy, inf || row.UnifiedInfeasible),
+			cell(row.FermiPerf, inf || row.FermiInfeasible),
+			cell(row.FermiEnergy, inf || row.FermiInfeasible))
 	}
 	return t, nil
 }

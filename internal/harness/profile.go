@@ -16,6 +16,12 @@ import (
 type ProfileSpec struct {
 	// Kernel is the benchmark name (workloads registry).
 	Kernel string
+	// Streams, when non-empty, profiles a multi-tenant mix instead: the
+	// named kernels run co-resident on one SM and the probe attributes
+	// issue and stall slots per stream. Mutually exclusive with Kernel;
+	// RegsPerThread then applies to no stream (each uses its spill-free
+	// demand).
+	Streams []string
 	// Config is the local-memory configuration to run under.
 	Config config.MemConfig
 	// RegsPerThread overrides the register allocation (0 = spill-free).
@@ -35,13 +41,28 @@ type ProfileResult struct {
 // Profile runs one kernel with a cycle-level probe attached. It is the
 // engine behind cmd/smprof and usable directly from tests.
 func Profile(r *core.Runner, ps ProfileSpec) (*ProfileResult, error) {
-	k, err := workloads.ByName(ps.Kernel)
-	if err != nil {
-		return nil, err
-	}
 	p := probe.New(ps.IntervalCycles, ps.NDJSON)
-	res, err := r.Run(core.RunSpec{Kernel: k, Config: ps.Config, RegsPerThread: ps.RegsPerThread},
-		core.WithProbe(p))
+	var spec core.RunSpec
+	if len(ps.Streams) > 0 {
+		if ps.Kernel != "" {
+			return nil, fmt.Errorf("harness: ProfileSpec.Kernel and ProfileSpec.Streams are mutually exclusive")
+		}
+		spec = core.RunSpec{Config: ps.Config}
+		for _, name := range ps.Streams {
+			k, err := workloads.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			spec.Streams = append(spec.Streams, core.StreamSpec{Kernel: k})
+		}
+	} else {
+		k, err := workloads.ByName(ps.Kernel)
+		if err != nil {
+			return nil, err
+		}
+		spec = core.RunSpec{Kernel: k, Config: ps.Config, RegsPerThread: ps.RegsPerThread}
+	}
+	res, err := r.Run(spec, core.WithProbe(p))
 	if err != nil {
 		return nil, err
 	}
@@ -82,6 +103,25 @@ func StallTable(p *probe.Probe) *report.Table {
 		t.AddRow(stallLabels[i], fmt.Sprint(n), share(n))
 	}
 	t.AddRow("total", fmt.Sprint(total), share(total))
+	return t
+}
+
+// StreamStallTable renders the per-stream issue-slot attribution of a
+// multi-tenant profile: one row per stream, the same categories as
+// StallTable. Each row's slots are the stream's share; the rows sum to
+// the aggregate table's slots (minus none — the probe's conservation
+// invariant).
+func StreamStallTable(p *probe.Probe) *report.Table {
+	cols := append([]string{"stream", "issued"}, stallLabels[:]...)
+	t := report.NewTable("Per-stream stall attribution", cols...)
+	for i := 0; i < p.NumStreams(); i++ {
+		stalls := p.StreamStalls(i)
+		row := []string{p.StreamName(i), fmt.Sprint(p.StreamIssued(i))}
+		for _, n := range stalls {
+			row = append(row, fmt.Sprint(n))
+		}
+		t.AddRow(row...)
+	}
 	return t
 }
 
@@ -152,13 +192,23 @@ func FormatProfile(pr *ProfileResult) string {
 	res, p := pr.Result, pr.Probe
 	c := res.Counters
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%s under %v: threads=%d (%d CTAs, limited by %v)\n",
-		res.Spec.Kernel.Name, res.Spec.Config, res.Occupancy.Threads,
-		res.Occupancy.CTAs, res.Occupancy.Limiter)
+	if len(res.Spec.Streams) > 0 {
+		fmt.Fprintf(&sb, "%s under %v: threads=%d (%d CTAs jointly resident)\n",
+			core.StreamNames(res.Spec.Streams), res.Spec.Config,
+			res.Occupancy.Threads, res.Occupancy.CTAs)
+	} else {
+		fmt.Fprintf(&sb, "%s under %v: threads=%d (%d CTAs, limited by %v)\n",
+			res.Spec.Kernel.Name, res.Spec.Config, res.Occupancy.Threads,
+			res.Occupancy.CTAs, res.Occupancy.Limiter)
+	}
 	fmt.Fprintf(&sb, "cycles=%d  warp IPC=%.3f  thread IPC=%.2f  cache hit=%s  dram=%dB\n\n",
 		c.Cycles, c.IPC(), res.IPC(), report.Percent(c.CacheHitRate()), c.DRAMBytes())
 	sb.WriteString(StallTable(p).String())
 	sb.WriteByte('\n')
+	if p.NumStreams() > 1 {
+		sb.WriteString(StreamStallTable(p).String())
+		sb.WriteByte('\n')
+	}
 	sb.WriteString(FormatBankHeat(p))
 	sb.WriteByte('\n')
 	sb.WriteString(FormatIntervals(p))

@@ -433,6 +433,18 @@ func (e *Engine) finish(j *job, state string, jerr *api.Error, final []byte, fin
 	j.final = final
 	j.finalStatus = finalStatus
 	j.progress.Current = ""
+	// The disk is the commit point, and the lock is held until both
+	// writes land: the result bytes first, then the terminal record.
+	// An engine opened against the same directory must never read a
+	// stale running record for a job this process already reported
+	// terminal (it would resume a finished job), nor a terminal record
+	// whose result file has not appeared yet.
+	if e.opts.Dir != "" {
+		if final != nil {
+			_ = store.WriteFileAtomic(e.resultPath(j.id), final)
+		}
+		_ = e.persistLocked(j)
+	}
 	j.mu.Unlock()
 
 	e.mu.Lock()
@@ -446,10 +458,6 @@ func (e *Engine) finish(j *job, state string, jerr *api.Error, final []byte, fin
 	}
 	e.mu.Unlock()
 
-	_ = e.persist(j)
-	if e.opts.Dir != "" && final != nil {
-		_ = store.WriteFileAtomic(e.resultPath(j.id), final)
-	}
 	j.broadcastState(api.EventDone)
 	j.closeSubs()
 	e.trimHistory()
@@ -812,10 +820,19 @@ func (e *Engine) resultPath(id string) string {
 
 // persist writes the job's record; a no-op without a directory.
 func (e *Engine) persist(j *job) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return e.persistLocked(j)
+}
+
+// persistLocked is persist with j.mu already held. The record write
+// completes before the caller releases the lock, which is what lets
+// finish make the on-disk record durable before the terminal state
+// becomes observable.
+func (e *Engine) persistLocked(j *job) error {
 	if e.opts.Dir == "" {
 		return nil
 	}
-	j.mu.Lock()
 	rec := record{
 		ID:          j.id,
 		Type:        j.typ,
@@ -830,7 +847,6 @@ func (e *Engine) persist(j *job) error {
 		Error:       j.jobErr,
 		FinalStatus: j.finalStatus,
 	}
-	j.mu.Unlock()
 	data, err := json.Marshal(rec)
 	if err != nil {
 		return err

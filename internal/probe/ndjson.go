@@ -135,6 +135,44 @@ func (p *Probe) writeSummary() {
 	p.write(b)
 }
 
+// writeStreams emits one stream record per declared stream, after the
+// summary. Single-kernel probes (no SetStreams) emit nothing, keeping
+// their streams byte-identical to the version-1 single-kernel schema:
+//
+//	{"type":"stream","index":0,"name":"fft","issued":...,"stalls":{...},
+//	 "cache_probes":...,"cache_hits":...,"cache_misses":...,
+//	 "dram_bytes":...}
+func (p *Probe) writeStreams() {
+	for i := range p.streamNames {
+		var cp, ch, cm, db int64
+		if p.streamCounters != nil && p.streamCounters[i] != nil {
+			c := p.streamCounters[i]
+			cp, ch, cm, db = c.CacheProbes, c.CacheHits, c.CacheMisses, c.DRAMBytes()
+		}
+		t := &p.streamTallies[i]
+		b := p.encBuf[:0]
+		b = append(b, `{"type":"stream","index":`...)
+		b = strconv.AppendInt(b, int64(i), 10)
+		b = append(b, `,"name":`...)
+		b = appendJSONString(b, p.streamNames[i])
+		b = append(b, `,"issued":`...)
+		b = strconv.AppendInt(b, t.issued, 10)
+		b = append(b, ',')
+		b = appendStalls(b, &t.stalls)
+		b = append(b, `,"cache_probes":`...)
+		b = strconv.AppendInt(b, cp, 10)
+		b = append(b, `,"cache_hits":`...)
+		b = strconv.AppendInt(b, ch, 10)
+		b = append(b, `,"cache_misses":`...)
+		b = strconv.AppendInt(b, cm, 10)
+		b = append(b, `,"dram_bytes":`...)
+		b = strconv.AppendInt(b, db, 10)
+		b = append(b, "}\n"...)
+		p.encBuf = b
+		p.write(b)
+	}
+}
+
 // appendJSONString appends a JSON-quoted string. Annotation keys and
 // values are short config/kernel names; anything needing escapes goes
 // through the standard encoder.
@@ -168,6 +206,23 @@ type Summary struct {
 	DRAMBytes    int64
 }
 
+// StreamSummary is one co-resident stream's share of the profile, from
+// a decoded stream record. The per-stream issued and stall totals sum
+// exactly to the aggregate Summary across streams.
+type StreamSummary struct {
+	// Index is the stream's index on the SM; Name labels it (the kernel
+	// name).
+	Index int
+	Name  string
+	// Issued and Stalls are the stream's share of the issue slots.
+	Issued int64
+	Stalls [NumStallReasons]int64
+	// CacheProbes, CacheHits, CacheMisses, and DRAMBytes are the
+	// stream's memory-system totals.
+	CacheProbes, CacheHits, CacheMisses int64
+	DRAMBytes                           int64
+}
+
 // Profile is a decoded NDJSON stream.
 type Profile struct {
 	// Version is the stream schema version from the meta record.
@@ -181,6 +236,9 @@ type Profile struct {
 	// Summary is the whole-run record, nil if the stream was truncated
 	// before the run ended.
 	Summary *Summary
+	// Streams are the per-stream records of a multi-tenant run, in
+	// stream-index order; empty for single-kernel profiles.
+	Streams []StreamSummary
 }
 
 // record is the union wire form of every NDJSON line.
@@ -198,7 +256,10 @@ type record struct {
 	BankConflict []int64           `json:"bank_conflict"`
 	CacheProbes  int64             `json:"cache_probes"`
 	CacheHits    int64             `json:"cache_hits"`
+	CacheMisses  int64             `json:"cache_misses"`
 	DRAMBytes    int64             `json:"dram_bytes"`
+	Index        int               `json:"index"`
+	Name         string            `json:"name"`
 }
 
 // reasonIndex maps an NDJSON stall key back to its StallReason.
@@ -288,6 +349,17 @@ func Decode(r io.Reader) (*Profile, error) {
 				return nil, err
 			}
 			p.Summary = s
+		case "stream":
+			stalls, err := decodeStalls(rec.Stalls, line)
+			if err != nil {
+				return nil, err
+			}
+			p.Streams = append(p.Streams, StreamSummary{
+				Index: rec.Index, Name: rec.Name, Issued: rec.Issued,
+				Stalls:      stalls,
+				CacheProbes: rec.CacheProbes, CacheHits: rec.CacheHits,
+				CacheMisses: rec.CacheMisses, DRAMBytes: rec.DRAMBytes,
+			})
 		default:
 			return nil, fmt.Errorf("probe: line %d: unknown record type %q", line, rec.Type)
 		}

@@ -127,6 +127,13 @@ type Probe struct {
 	// Counter snapshots at the current interval's start.
 	snapProbes, snapHits, snapDRAM int64
 
+	// Per-stream attribution (streams.go); all nil/zero on
+	// single-kernel runs, so those pay nothing for the capability.
+	streamNames    []string
+	streamCounters []*stats.Counters
+	streamTallies  []streamTally
+	lastStream     int
+
 	encBuf []byte // reused NDJSON encode buffer
 	werr   error  // first NDJSON write error
 }
@@ -252,7 +259,10 @@ func (p *Probe) End(finalCycle int64) {
 	}
 	p.ended = true
 	if finalCycle > p.next {
-		p.Stall(p.next, finalCycle, StallDrain)
+		// The trailing drain is charged to the last-issuing stream: the
+		// run's final issue is the last-finishing stream's EXIT, and the
+		// posted tag-port work draining afterwards is its traffic.
+		p.StallStream(p.next, finalCycle, StallDrain, p.lastStream)
 	}
 	if p.cur.Issued != 0 || p.cur.Stalls != ([NumStallReasons]int64{}) {
 		p.cur.End = p.next
@@ -260,6 +270,7 @@ func (p *Probe) End(finalCycle int64) {
 	}
 	if p.out != nil {
 		p.writeSummary()
+		p.writeStreams()
 	}
 }
 

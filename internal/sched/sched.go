@@ -69,6 +69,23 @@ type Pool interface {
 	Activate(w int)
 }
 
+// StreamPool is an optional Pool extension implemented by pools that
+// host several co-resident kernels (streams). When a pool reports more
+// than one stream, the shared promotion rule switches to a stream-fair
+// variant: vacant active-set slots go to the stream with the fewest
+// active members first, so one kernel's warp surplus cannot starve a
+// co-tenant of issue opportunities. With one stream the promotion rule
+// is exactly the classic one — single-kernel schedules are unchanged.
+type StreamPool interface {
+	Pool
+	// NumStreams returns the number of co-resident streams.
+	NumStreams() int
+	// Stream returns the stream index owning warp slot w.
+	Stream(w int) int
+	// MinReadyOf is MinReady restricted to one stream's warps.
+	MinReadyOf(now int64, stream int) (w int, ok bool)
+}
+
 // Action is a Walk visitor's verdict on one candidate warp.
 type Action uint8
 
@@ -135,7 +152,13 @@ func New(p Policy, capacity int, greedy bool) (Scheduler, error) {
 // refill is the promotion rule both policies share: promote the pool's
 // oldest-wakeup eligible warp (lowest slot index on ties, per
 // Pool.MinReady) until the active set is full or no warp qualifies.
+// Multi-stream pools (StreamPool with more than one stream) promote
+// stream-fair instead; single-stream pools take the classic path
+// verbatim.
 func refill(active []int, capacity int, pool Pool, now int64) []int {
+	if sp, ok := pool.(StreamPool); ok && sp.NumStreams() > 1 {
+		return refillStreams(active, capacity, sp, now)
+	}
 	for len(active) < capacity {
 		best, ok := pool.MinReady(now)
 		if !ok {
@@ -143,6 +166,51 @@ func refill(active []int, capacity int, pool Pool, now int64) []int {
 		}
 		pool.Activate(best)
 		active = append(active, best)
+	}
+	return active
+}
+
+// refillStreams is the stream-fair promotion rule: each vacant slot
+// goes to the eligible warp of the stream with the fewest active-set
+// members, ties broken by oldest wake cycle then lowest stream index
+// (within a stream, MinReadyOf's oldest-wake/lowest-slot rule holds).
+// The rule is deterministic, so multi-stream schedules replay exactly.
+func refillStreams(active []int, capacity int, pool StreamPool, now int64) []int {
+	n := pool.NumStreams()
+	var countsBuf [8]int
+	counts := countsBuf[:]
+	if n > len(countsBuf) {
+		counts = make([]int, n)
+	} else {
+		counts = counts[:n]
+		for i := range counts {
+			counts[i] = 0
+		}
+	}
+	for _, w := range active {
+		counts[pool.Stream(w)]++
+	}
+	for len(active) < capacity {
+		best, bestStream, bestWake := -1, -1, int64(0)
+		for s := 0; s < n; s++ {
+			w, ok := pool.MinReadyOf(now, s)
+			if !ok {
+				continue
+			}
+			wake, _ := pool.ReadyAt(w)
+			better := best < 0 ||
+				counts[s] < counts[bestStream] ||
+				(counts[s] == counts[bestStream] && wake < bestWake)
+			if better {
+				best, bestStream, bestWake = w, s, wake
+			}
+		}
+		if best < 0 {
+			return active
+		}
+		pool.Activate(best)
+		active = append(active, best)
+		counts[bestStream]++
 	}
 	return active
 }

@@ -165,7 +165,7 @@ func (s *Server) jobResolve(request []byte) (jobs.Plan, error) {
 		}
 		return jobs.Plan{
 			Type:     "run",
-			Note:     "run " + rr.kernel.Name,
+			Note:     "run " + rr.label(),
 			Items:    runItems([]*resolvedRun{rr}),
 			Assemble: assembleSingle,
 		}, nil

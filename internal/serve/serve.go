@@ -80,6 +80,7 @@ import (
 	"io"
 	"net/http"
 	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
@@ -268,6 +269,11 @@ type resolvedRun struct {
 	timeout   time.Duration
 	key       string
 	runnerKey string
+	// streams holds the resolved co-resident kernels of a multi-tenant
+	// request (api.RunRequest.Streams with two or more entries; a
+	// single entry canonically collapses to the plain form, so kernel
+	// is nil exactly when streams is set).
+	streams []resolvedStream
 	// warm, when non-nil, routes the run through the shared warm prefix
 	// (batch warm_cycles): the group's Warm is computed once and the run
 	// copy-on-write forks it under its own divergable timing.
@@ -360,6 +366,8 @@ func warmGroupKey(rr *resolvedRun, cycles int64) string {
 
 // canonicalRun is the hashed form of a resolved run. Field order is the
 // serialization order, so changing this struct changes every key.
+// Streams trails with omitempty so every pre-existing single-kernel
+// request keeps its exact key.
 type canonicalRun struct {
 	Kernel   string              `json:"kernel"`
 	BF       int                 `json:"bf"`
@@ -368,10 +376,55 @@ type canonicalRun struct {
 	Seed     uint64              `json:"seed"`
 	Probe    bool                `json:"probe"`
 	ProbeIvl int64               `json:"probe_interval,omitempty"`
+	Streams  []canonicalStream   `json:"streams,omitempty"`
+}
+
+// canonicalStream is the hashed form of one resolved stream: the
+// concrete kernel and the clamps the simulator applies, so stream
+// spellings of the same run share a key.
+type canonicalStream struct {
+	Kernel string `json:"kernel"`
+	BF     int    `json:"bf"`
+	Regs   int    `json:"regs"`
+	Seed   uint64 `json:"seed"`
+}
+
+// resolvedStream is one canonicalized stream of a multi-tenant request.
+type resolvedStream struct {
+	kernel *workloads.Kernel
+	regs   int
+	seed   uint64
+}
+
+// label names the run for notes and error messages: the kernel name, or
+// the "+"-joined stream names of a multi-tenant run.
+func (rr *resolvedRun) label() string {
+	if rr.kernel != nil {
+		return rr.kernel.Name
+	}
+	names := make([]string, len(rr.streams))
+	for i, st := range rr.streams {
+		names[i] = st.kernel.Name
+	}
+	return strings.Join(names, "+")
 }
 
 // resolve canonicalizes one request. Errors are client errors (400).
 func (s *Server) resolve(req api.RunRequest) (*resolvedRun, error) {
+	if len(req.Streams) > 0 {
+		if req.Kernel != "" || req.BF != 0 || req.RegsPerThread != 0 || req.Seed != 0 {
+			return nil, fmt.Errorf("\"streams\" is mutually exclusive with kernel/bf/regs_per_thread/seed")
+		}
+		if len(req.Streams) == 1 {
+			// Canonical collapse: a single-entry streams list IS the
+			// plain request, so both spellings share one cache key.
+			st := req.Streams[0]
+			req.Kernel, req.BF, req.RegsPerThread, req.Seed = st.Kernel, st.BF, st.RegsPerThread, st.Seed
+			req.Streams = nil
+		} else {
+			return s.resolveStreams(req)
+		}
+	}
 	if req.Kernel == "" {
 		return nil, fmt.Errorf("missing \"kernel\" (GET /v1/kernels lists the registry)")
 	}
@@ -459,6 +512,101 @@ func (s *Server) resolve(req api.RunRequest) (*resolvedRun, error) {
 	return rr, nil
 }
 
+// resolveStreams canonicalizes a multi-tenant request (two or more
+// streams): each stream's kernel, register clamp, and seed resolve
+// exactly as the plain form's do, and alloc_total_kb/fermi_total_kb
+// partition jointly for the whole mix (config.AllocateMulti /
+// config.ChooseFermiMulti).
+func (s *Server) resolveStreams(req api.RunRequest) (*resolvedRun, error) {
+	streams := make([]resolvedStream, len(req.Streams))
+	reqs := make([]config.KernelRequirements, len(req.Streams))
+	for i, sr := range req.Streams {
+		if sr.Kernel == "" {
+			return nil, fmt.Errorf("streams[%d]: missing \"kernel\" (GET /v1/kernels lists the registry)", i)
+		}
+		var k *workloads.Kernel
+		var err error
+		if sr.Kernel == "needle" && sr.BF != 0 {
+			k = workloads.NeedleKernel(sr.BF)
+		} else {
+			k, err = workloads.ByName(sr.Kernel)
+			if err != nil {
+				return nil, fmt.Errorf("streams[%d]: %w", i, err)
+			}
+		}
+		st := resolvedStream{kernel: k, regs: sr.RegsPerThread, seed: sr.Seed}
+		// The same clamps the plain form canonicalizes with.
+		if st.regs <= 0 || st.regs > k.RegsNeeded {
+			st.regs = k.RegsNeeded
+		}
+		if st.seed == 0 {
+			st.seed = 1 // core.Runner's default seed
+		}
+		streams[i] = st
+		reqs[i] = k.Requirements()
+	}
+	cfg, params, eparams, err := req.Machine.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	if req.AllocTotalKB > 0 && req.FermiTotalKB > 0 {
+		return nil, fmt.Errorf("at most one of alloc_total_kb and fermi_total_kb")
+	}
+	if req.AllocTotalKB > 0 {
+		cfg, err = config.AllocateMulti(reqs, req.AllocTotalKB<<10, req.Machine.MaxThreads)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if req.FermiTotalKB > 0 {
+		if req.FermiTotalKB<<10 <= config.BaselineRFBytes {
+			return nil, fmt.Errorf("fermi_total_kb must exceed the fixed %dKB register file",
+				config.BaselineRFBytes>>10)
+		}
+		cfg = config.ChooseFermiMulti(reqs, req.FermiTotalKB<<10-config.BaselineRFBytes, req.Machine.MaxThreads)
+	}
+	rr := &resolvedRun{
+		streams: streams,
+		cfg:     cfg,
+		params:  params,
+		eparams: eparams,
+		canon:   machine.Describe(cfg, params, eparams),
+	}
+	if req.Probe {
+		rr.probe = true
+		rr.probeIvl = req.ProbeIntervalCycles
+		if rr.probeIvl <= 0 {
+			rr.probeIvl = probe.DefaultInterval
+		}
+	}
+	rr.timeout = s.opts.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		rr.timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	canonStreams := make([]canonicalStream, len(streams))
+	for i, st := range streams {
+		canonStreams[i] = canonicalStream{Kernel: st.kernel.Name, BF: st.kernel.BF, Regs: st.regs, Seed: st.seed}
+	}
+	ck, err := json.Marshal(canonicalRun{
+		Machine:  rr.canon,
+		Probe:    rr.probe,
+		ProbeIvl: rr.probeIvl,
+		Streams:  canonStreams,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rr.key = cacheKey(ck)
+	rk := rr.canon
+	rk.Design, rk.RFKB, rk.SharedKB, rk.CacheKB, rk.MaxThreads = "", 0, 0, 0, 0
+	rkb, err := json.Marshal(rk)
+	if err != nil {
+		return nil, err
+	}
+	rr.runnerKey = string(rkb)
+	return rr, nil
+}
+
 // runner returns (memoizing) the Runner for a resolved run's timing and
 // energy parameters.
 func (s *Server) runner(rr *resolvedRun) *core.Runner {
@@ -503,6 +651,15 @@ func (s *Server) simulate(ctx context.Context, rr *resolvedRun) (int, []byte) {
 		if warm, err = rr.warm.warmPrefix(s.opts.DefaultTimeout); err == nil {
 			res, err = warm.Resume(ctx, s.runner(rr), rr.params)
 		}
+	} else if rr.streams != nil {
+		streams := make([]core.StreamSpec, len(rr.streams))
+		for i, st := range rr.streams {
+			streams[i] = core.StreamSpec{Kernel: st.kernel, RegsPerThread: st.regs, Seed: st.seed}
+		}
+		res, err = s.runner(rr).RunCtx(ctx, core.RunSpec{
+			Config:  rr.cfg,
+			Streams: streams,
+		}, opts...)
 	} else {
 		res, err = s.runner(rr).RunCtx(ctx, core.RunSpec{
 			Kernel:        rr.kernel,
@@ -531,7 +688,7 @@ func (s *Server) simulate(ctx context.Context, rr *resolvedRun) (int, []byte) {
 	}
 	resp := api.RunResponse{
 		Key:    rr.key,
-		Kernel: rr.kernel.Name,
+		Kernel: rr.label(),
 		Config: api.ConfigInfo{
 			Design:      rr.cfg.Design.String(),
 			RFBytes:     rr.cfg.RFBytes,
@@ -557,8 +714,28 @@ func (s *Server) simulate(ctx context.Context, rr *resolvedRun) (int, []byte) {
 		ProbeNDJSON: ndjson.String(),
 		WarmCycles:  rr.warmCycles,
 	}
-	if rr.kernel.Name == "needle" {
+	if rr.kernel != nil && rr.kernel.Name == "needle" {
 		resp.BF = rr.kernel.BF
+	}
+	for i, sr := range res.Streams {
+		st := rr.streams[i]
+		counters := sr.Counters // copy: the response keeps a stable pointer
+		out := api.StreamResult{
+			Kernel: sr.Kernel,
+			Occupancy: api.OccupancyInfo{
+				CTAs:    sr.Occupancy.CTAs,
+				Threads: sr.Occupancy.Threads,
+				Warps:   sr.Occupancy.Warps,
+				Limiter: sr.Occupancy.Limiter.String(),
+			},
+			Counters: &counters,
+			IPC:      counters.ThreadIPC(),
+			WarpIPC:  counters.IPC(),
+		}
+		if st.kernel.Name == "needle" {
+			out.BF = st.kernel.BF
+		}
+		resp.Streams = append(resp.Streams, out)
 	}
 	return http.StatusOK, marshalBody(resp)
 }
@@ -679,7 +856,7 @@ func (s *Server) resolveBatch(req api.BatchRequest) ([]*resolvedRun, *api.Error)
 		// Fork-at-K results differ from cycle-0 results, so the cache
 		// key grows a warm suffix; probed items keep the exact path and
 		// their plain key.
-		if req.WarmCycles > 0 && !rr.probe {
+		if req.WarmCycles > 0 && !rr.probe && rr.streams == nil {
 			gk := warmGroupKey(rr, req.WarmCycles)
 			e := groups[gk]
 			if e == nil {

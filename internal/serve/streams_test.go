@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/api"
+	"repro/internal/parallel"
+)
+
+// TestRunStreams exercises the multi-tenant path end to end: two
+// kernels co-resident on one SM, per-stream attribution in the
+// response, and the conservation invariant (attributed counters sum
+// exactly to the aggregate).
+func TestRunStreams(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	const req = `{"streams":[{"kernel":"vectoradd"},{"kernel":"dwthaar1d"}]}`
+	resp, body := do(t, ts, http.MethodPost, "/v1/run", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/run: %d: %s", resp.StatusCode, body)
+	}
+	var rr api.RunResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Kernel != "vectoradd+dwthaar1d" {
+		t.Errorf("Kernel = %q, want the joined stream label", rr.Kernel)
+	}
+	if len(rr.Streams) != 2 {
+		t.Fatalf("len(Streams) = %d, want 2", len(rr.Streams))
+	}
+	var warpInsts, threadInsts, dram int64
+	for i, st := range rr.Streams {
+		if st.Counters == nil {
+			t.Fatalf("stream %d has no counters", i)
+		}
+		if st.Occupancy.CTAs < 1 {
+			t.Errorf("stream %d CTAs = %d, want >= 1 (both co-tenants resident)", i, st.Occupancy.CTAs)
+		}
+		if st.Counters.Cycles <= 0 || st.Counters.Cycles > rr.Counters.Cycles {
+			t.Errorf("stream %d Cycles = %d, want in (0, %d]", i, st.Counters.Cycles, rr.Counters.Cycles)
+		}
+		warpInsts += st.Counters.WarpInsts
+		threadInsts += st.Counters.ThreadInsts
+		dram += st.Counters.DRAMReadBytes + st.Counters.DRAMWriteBytes
+	}
+	if warpInsts != rr.Counters.WarpInsts {
+		t.Errorf("sum of stream WarpInsts = %d, aggregate = %d", warpInsts, rr.Counters.WarpInsts)
+	}
+	if threadInsts != rr.Counters.ThreadInsts {
+		t.Errorf("sum of stream ThreadInsts = %d, aggregate = %d", threadInsts, rr.Counters.ThreadInsts)
+	}
+	if want := rr.Counters.DRAMReadBytes + rr.Counters.DRAMWriteBytes; dram != want {
+		t.Errorf("sum of stream DRAM bytes = %d, aggregate = %d", dram, want)
+	}
+	// The joint occupancy is the sum of the per-stream shares.
+	if got := rr.Streams[0].Occupancy.CTAs + rr.Streams[1].Occupancy.CTAs; got != rr.Occupancy.CTAs {
+		t.Errorf("stream CTAs sum = %d, joint = %d", got, rr.Occupancy.CTAs)
+	}
+}
+
+// TestStreamsCanonicalKeys pins the cache-key contract for the streams
+// field: a single-entry streams list collapses to the plain spelling,
+// explicit stream defaults share the multi-stream key, and genuinely
+// different mixes get their own keys.
+func TestStreamsCanonicalKeys(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+
+	// Single-entry streams ≡ plain request: one cache entry, identical
+	// bytes (including the response's canonical key).
+	resp1, body1 := do(t, ts, http.MethodPost, "/v1/run", `{"kernel":"vectoradd"}`)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("plain POST: %d: %s", resp1.StatusCode, body1)
+	}
+	resp2, body2 := do(t, ts, http.MethodPost, "/v1/run", `{"streams":[{"kernel":"vectoradd"}]}`)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("single-stream POST: %d: %s", resp2.StatusCode, body2)
+	}
+	if got := resp2.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("single-entry streams X-Cache = %q, want hit (canonical collapse)", got)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Error("single-entry streams body differs from the plain spelling")
+	}
+
+	// Multi-stream spellings with defaults made explicit share a key.
+	resp3, body3 := do(t, ts, http.MethodPost, "/v1/run",
+		`{"streams":[{"kernel":"vectoradd"},{"kernel":"dwthaar1d"}]}`)
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("multi POST: %d: %s", resp3.StatusCode, body3)
+	}
+	resp4, body4 := do(t, ts, http.MethodPost, "/v1/run",
+		`{"streams":[{"kernel":"vectoradd","seed":1},{"kernel":"dwthaar1d","seed":1}]}`)
+	if got := resp4.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("explicit-defaults multi X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(body3, body4) {
+		t.Error("equivalent multi-stream spellings returned different bodies")
+	}
+
+	// Stream order and content are key-defining.
+	resp5, _ := do(t, ts, http.MethodPost, "/v1/run",
+		`{"streams":[{"kernel":"dwthaar1d"},{"kernel":"vectoradd"}]}`)
+	if got := resp5.Header.Get("X-Cache"); got != "miss" {
+		t.Errorf("reordered streams X-Cache = %q, want miss", got)
+	}
+}
+
+// TestStreamsValidation covers the client-error paths of the streams
+// field.
+func TestStreamsValidation(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	for _, tc := range []struct{ name, body, wantFrag string }{
+		{"exclusive", `{"kernel":"vectoradd","streams":[{"kernel":"dwthaar1d"},{"kernel":"sad"}]}`,
+			"mutually exclusive"},
+		{"unknown", `{"streams":[{"kernel":"vectoradd"},{"kernel":"nosuch"}]}`, "streams[1]"},
+		{"missing", `{"streams":[{"kernel":"vectoradd"},{}]}`, "streams[1]"},
+	} {
+		resp, body := do(t, ts, http.MethodPost, "/v1/run", tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400: %s", tc.name, resp.StatusCode, body)
+		}
+		if !bytes.Contains(body, []byte(tc.wantFrag)) {
+			t.Errorf("%s: body %s does not mention %q", tc.name, body, tc.wantFrag)
+		}
+	}
+}
+
+// TestStreamsBatchDeterminism is the multi-tenant extension of the
+// service determinism pin: a batch mixing streamed and plain items
+// produces byte-identical bodies under j=1 and j=8.
+func TestStreamsBatchDeterminism(t *testing.T) {
+	defer parallel.SetWorkers(0)
+	const batch = `{"runs":[
+		{"streams":[{"kernel":"vectoradd"},{"kernel":"dwthaar1d"}]},
+		{"kernel":"vectoradd"},
+		{"streams":[{"kernel":"dwthaar1d"},{"kernel":"vectoradd"}]},
+		{"streams":[{"kernel":"vectoradd"},{"kernel":"vectoradd"}]}
+	]}`
+	bodies := make([][]byte, 0, 2)
+	for _, j := range []int{1, 8} {
+		parallel.SetWorkers(j)
+		_, ts := newTestServer(t, Options{InFlight: 4})
+		resp, body := do(t, ts, http.MethodPost, "/v1/batch", batch)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("j=%d: status %d: %s", j, resp.StatusCode, body)
+		}
+		bodies = append(bodies, body)
+	}
+	if !bytes.Equal(bodies[0], bodies[1]) {
+		t.Error("streamed batch bodies differ between j=1 and j=8")
+	}
+}

@@ -88,6 +88,9 @@ func (s *SM) RunSampled(ctx context.Context, sp SampleSpec) (*stats.Counters, er
 	if s.prof != nil {
 		return nil, fmt.Errorf("sm: sampled mode cannot attach a probe (stall attribution needs exact runs)")
 	}
+	if s.streamCounters != nil {
+		return nil, fmt.Errorf("sm: sampled mode does not support multi-tenant streams")
+	}
 	poll := ctx != nil && ctx.Done() != nil
 	s.Start()
 	budget := ctxCheckInterval

@@ -109,6 +109,14 @@ type SM struct {
 	// system's state belongs to the chip, not to one SM.
 	dramModel *dram.DRAM
 	counters  stats.Counters
+	// streamCounters holds per-stream attribution for multi-tenant runs
+	// (Spec.Streams); nil for single-kernel specs, which therefore pay
+	// one nil check per issue for the capability. Additive categories
+	// sum exactly to counters across streams (DESIGN.md §5j).
+	streamCounters []stats.Counters
+	// lastStream is the stream of the most recent issue, the default
+	// attribution target for stalls no single warp owns.
+	lastStream int
 	// prof is the attached observability probe, nil when disabled.
 	// Every hook call site is guarded, so a run without a probe does no
 	// observability work at all, and a probed run only reads state.
@@ -127,6 +135,17 @@ type SM struct {
 	nextEvent int64
 }
 
+// StreamSpec describes one co-resident kernel (stream) of a
+// multi-tenant run.
+type StreamSpec struct {
+	// Name labels the stream in probe output (typically the kernel name).
+	Name string
+	// Source supplies the stream's grid.
+	Source TraceSource
+	// ResidentCTAs is the stream's share of the SM's CTA slots.
+	ResidentCTAs int
+}
+
 // Spec gathers everything needed to build an SM. The zero value of the
 // optional fields selects the defaults: Memory nil creates a private
 // single-channel DRAM system (the chip simulator injects a shared one),
@@ -140,6 +159,10 @@ type Spec struct {
 	Source TraceSource
 	// ResidentCTAs is the number of concurrent CTA slots.
 	ResidentCTAs int
+	// Streams runs several kernels co-resident on the SM with CTA slots
+	// interleaved round-robin and per-stream counter attribution.
+	// Mutually exclusive with Source/ResidentCTAs.
+	Streams []StreamSpec
 	// Memory optionally injects a shared memory system.
 	Memory Memory
 	// Probe optionally attaches a cycle-level observability probe.
@@ -148,8 +171,11 @@ type Spec struct {
 
 // NewSM builds an SM from spec.
 func NewSM(spec Spec) (*SM, error) {
-	if spec.Source == nil {
+	if spec.Source == nil && len(spec.Streams) == 0 {
 		return nil, fmt.Errorf("sm: Spec.Source is nil")
+	}
+	if spec.Source != nil && len(spec.Streams) > 0 {
+		return nil, fmt.Errorf("sm: Spec.Source and Spec.Streams are mutually exclusive")
 	}
 	cfg, params := spec.Config, spec.Params
 	if params.ActiveWarps < 1 {
@@ -176,7 +202,25 @@ func NewSM(spec Spec) (*SM, error) {
 	if s.sched, err = sched.New(params.Scheduler, params.ActiveWarps, params.GreedyScheduler); err != nil {
 		return nil, fmt.Errorf("sm: %w", err)
 	}
-	if s.disp, err = dispatch.New(spec.Source, spec.ResidentCTAs, &s.counters); err != nil {
+	if len(spec.Streams) > 0 {
+		s.streamCounters = make([]stats.Counters, len(spec.Streams))
+		specs := make([]dispatch.StreamSpec, len(spec.Streams))
+		refs := make([]*stats.Counters, len(spec.Streams))
+		for i, st := range spec.Streams {
+			specs[i] = dispatch.StreamSpec{Source: st.Source, ResidentCTAs: st.ResidentCTAs}
+			refs[i] = &s.streamCounters[i]
+		}
+		if s.disp, err = dispatch.NewMulti(specs, &s.counters, refs); err != nil {
+			return nil, fmt.Errorf("sm: %w", err)
+		}
+		if spec.Probe != nil {
+			names := make([]string, len(spec.Streams))
+			for i, st := range spec.Streams {
+				names[i] = st.Name
+			}
+			spec.Probe.SetStreams(names, refs)
+		}
+	} else if s.disp, err = dispatch.New(spec.Source, spec.ResidentCTAs, &s.counters); err != nil {
 		return nil, fmt.Errorf("sm: %w", err)
 	}
 	if spec.Probe == nil {
@@ -251,7 +295,12 @@ func (s *SM) Step() error {
 		nextEvent = s.cycle + 1
 	}
 	if s.prof != nil {
-		s.prof.Stall(s.cycle, nextEvent, s.stallReason())
+		if s.streamCounters != nil {
+			reason, stream := s.stallReasonStream()
+			s.prof.StallStream(s.cycle, nextEvent, reason, stream)
+		} else {
+			s.prof.Stall(s.cycle, nextEvent, s.stallReason())
+		}
 	}
 	s.cycle = nextEvent
 	if s.cycle > cycleBound {
@@ -268,11 +317,22 @@ func (s *SM) Finish() *stats.Counters {
 		s.counters.Cycles = t
 	}
 	s.counters.DirtyLinesEnd = s.mem.DirtyLines()
+	// A stream's cycle count is the cycle its last warp exited; the
+	// aggregate keeps the SM-wide completion (including tag drain).
+	for i := range s.streamCounters {
+		s.streamCounters[i].Cycles = s.disp.StreamDoneAt(i)
+	}
 	if s.prof != nil {
 		s.prof.End(s.counters.Cycles)
 	}
 	return &s.counters
 }
+
+// StreamCounters returns the per-stream counters of a multi-tenant run
+// (nil for single-kernel specs), indexed by Spec.Streams order. The
+// additive event categories sum exactly to the aggregate counters;
+// Cycles holds each stream's own completion cycle. Call after Finish.
+func (s *SM) StreamCounters() []stats.Counters { return s.streamCounters }
 
 // stallReason classifies a failed issue attempt for the observability
 // probe, reading each component at its boundary: active-set occupancy
@@ -319,6 +379,67 @@ func (s *SM) stallReason() probe.StallReason {
 		return probe.StallBankConflict
 	}
 	return probe.StallNoReadyWarp
+}
+
+// stallReasonStream is stallReason for multi-tenant runs: the same
+// fixed-priority classification, additionally naming the stream the lost
+// slots are charged to — the stream of the first warp exhibiting the
+// winning cause, or the last-issuing stream for causes no single warp
+// owns (MSHR saturation, an empty ready set). It is a separate function
+// so the single-stream classifier stays untouched on the common path.
+func (s *SM) stallReasonStream() (probe.StallReason, int) {
+	if s.sched.Len() == 0 {
+		barrier, readyLater := s.disp.Counts()
+		if barrier > 0 && readyLater == 0 {
+			return probe.StallBarrier, s.barrierStream()
+		}
+		if s.cycle < s.mem.MSHRBlockedUntil() {
+			return probe.StallMSHRFull, s.lastStream
+		}
+		return probe.StallNoReadyWarp, s.lastStream
+	}
+	sawDep, sawSerial, sawArb := false, false, false
+	depStream, serialStream, arbStream := 0, 0, 0
+	for _, wIdx := range s.sched.Active() {
+		w := s.disp.Warp(wIdx)
+		if w.NextIssue > s.cycle {
+			if !sawSerial {
+				serialStream = s.disp.Stream(wIdx)
+			}
+			sawSerial = true
+			if w.ArbStall && !sawArb {
+				arbStream = s.disp.Stream(wIdx)
+				sawArb = true
+			}
+			continue
+		}
+		if !sawDep {
+			depStream = s.disp.Stream(wIdx)
+		}
+		sawDep = true
+	}
+	switch {
+	case s.cycle < s.mem.MSHRBlockedUntil():
+		return probe.StallMSHRFull, s.lastStream
+	case sawDep:
+		return probe.StallScoreboard, depStream
+	case sawArb:
+		return probe.StallArbitration, arbStream
+	case sawSerial:
+		return probe.StallBankConflict, serialStream
+	}
+	return probe.StallNoReadyWarp, s.lastStream
+}
+
+// barrierStream returns the stream of the first warp blocked at a CTA
+// barrier, the attribution target for barrier stalls.
+func (s *SM) barrierStream() int {
+	for i, n := 0, s.disp.NumWarps(); i < n; i++ {
+		if s.disp.Warp(i).Status == dispatch.Barrier {
+			return s.disp.Stream(i)
+		}
+	}
+	return s.lastStream
 }
 
 // Run executes the grid to completion and returns the event counters.
@@ -437,8 +558,22 @@ func (s *SM) issue(wIdx int, w *dispatch.Warp, wi *isa.WarpInst) sched.Action {
 	} else {
 		out = s.bankModel.Evaluate(wi)
 	}
-	if s.prof != nil {
+	// sc is the issuing warp's per-stream counter set, nil on
+	// single-kernel runs: direct charges below are duplicated into it,
+	// and the memory-system counters it cannot observe directly are
+	// attributed by delta around the op dispatch.
+	var sc *stats.Counters
+	if s.streamCounters != nil {
+		stream := s.disp.Stream(wIdx)
+		sc = &s.streamCounters[stream]
+		s.lastStream = stream
+		if s.prof != nil {
+			s.prof.IssueStream(s.cycle, stream)
+		}
+	} else if s.prof != nil {
 		s.prof.Issue(s.cycle)
+	}
+	if s.prof != nil {
 		acc, conf := s.prof.Heat()
 		s.bankModel.HeatInto(acc, conf)
 	}
@@ -453,6 +588,18 @@ func (s *SM) issue(wIdx int, w *dispatch.Warp, wi *isa.WarpInst) sched.Action {
 		s.counters.ArbitrationConflicts++
 	}
 	s.counters.RecordRegAccesses(wi)
+	if sc != nil {
+		sc.WarpInsts++
+		sc.ThreadInsts += int64(wi.ActiveThreads())
+		if wi.Spill {
+			sc.SpillInsts++
+		}
+		sc.RecordConflict(out.MaxPerBank)
+		if out.Arbitration {
+			sc.ArbitrationConflicts++
+		}
+		sc.RecordRegAccesses(wi)
+	}
 
 	// Bank-conflict serialization follows the paper's §6.1 model: each
 	// access beyond the first to the most-contended bank delays *this*
@@ -463,6 +610,16 @@ func (s *SM) issue(wIdx int, w *dispatch.Warp, wi *isa.WarpInst) sched.Action {
 	extra := int64(out.ExtraCycles)
 	s.slotFreeAt = s.cycle + 1
 	w.NextIssue = s.cycle + 1 + extra
+
+	// Memory-system events (shared memory, cache, DRAM) land in the
+	// aggregate counters inside the op dispatch; per-stream attribution
+	// captures them as a before/after delta. BAR and EXIT return early
+	// without touching any of these fields, so skipping their delta is
+	// exact.
+	var memSnap memCounterSnap
+	if sc != nil {
+		memSnap = snapMemCounters(&s.counters)
+	}
 
 	complete := s.cycle + 1
 	switch wi.Op {
@@ -495,6 +652,10 @@ func (s *SM) issue(wIdx int, w *dispatch.Warp, wi *isa.WarpInst) sched.Action {
 		return sched.IssuedGone
 	}
 
+	if sc != nil {
+		memSnap.deltaInto(sc, &s.counters)
+	}
+
 	if wi.Dst.Reg != isa.NoReg {
 		if complete > w.RegReady[wi.Dst.Reg] {
 			w.RegReady[wi.Dst.Reg] = complete
@@ -502,6 +663,39 @@ func (s *SM) issue(wIdx int, w *dispatch.Warp, wi *isa.WarpInst) sched.Action {
 	}
 	w.PC++
 	return sched.Issued
+}
+
+// memCounterSnap freezes the memory-system counter fields one warp
+// instruction can mutate, so issue can attribute their growth to the
+// issuing warp's stream.
+type memCounterSnap struct {
+	sharedReads, sharedWrites           int64
+	cacheProbes, cacheHits, cacheMisses int64
+	cacheDataReads, cacheDataWrites     int64
+	dramReadBytes, dramWriteBytes       int64
+}
+
+func snapMemCounters(c *stats.Counters) memCounterSnap {
+	return memCounterSnap{
+		sharedReads: c.SharedReads, sharedWrites: c.SharedWrites,
+		cacheProbes: c.CacheProbes, cacheHits: c.CacheHits, cacheMisses: c.CacheMisses,
+		cacheDataReads: c.CacheDataReads, cacheDataWrites: c.CacheDataWrites,
+		dramReadBytes: c.DRAMReadBytes, dramWriteBytes: c.DRAMWriteBytes,
+	}
+}
+
+// deltaInto adds the growth of the aggregate counters since the snapshot
+// to the stream counters sc.
+func (m *memCounterSnap) deltaInto(sc, c *stats.Counters) {
+	sc.SharedReads += c.SharedReads - m.sharedReads
+	sc.SharedWrites += c.SharedWrites - m.sharedWrites
+	sc.CacheProbes += c.CacheProbes - m.cacheProbes
+	sc.CacheHits += c.CacheHits - m.cacheHits
+	sc.CacheMisses += c.CacheMisses - m.cacheMisses
+	sc.CacheDataReads += c.CacheDataReads - m.cacheDataReads
+	sc.CacheDataWrites += c.CacheDataWrites - m.cacheDataWrites
+	sc.DRAMReadBytes += c.DRAMReadBytes - m.dramReadBytes
+	sc.DRAMWriteBytes += c.DRAMWriteBytes - m.dramWriteBytes
 }
 
 // DirtyCacheLines returns the number of modified lines resident in the

@@ -25,6 +25,9 @@ func (s *SM) Snapshot() (*snapshot.State, error) {
 	if s.dramModel == nil {
 		return nil, fmt.Errorf("sm: cannot snapshot an SM with injected shared memory")
 	}
+	if s.streamCounters != nil {
+		return nil, fmt.Errorf("sm: multi-tenant runs do not snapshot (streams are prefix-defining)")
+	}
 	return &snapshot.State{
 		Config:     s.cfg,
 		Aggressive: s.params.AggressiveScatter,
